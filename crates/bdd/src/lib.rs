@@ -1,0 +1,45 @@
+//! A from-scratch ROBDD (reduced ordered binary decision diagram) package.
+//!
+//! This crate provides the BDD baseline that any SAT-based preimage paper of
+//! the DATE 2004 era compares against, and doubles as a semantics oracle for
+//! the all-solutions engines: every engine's output can be converted to a
+//! BDD and checked for functional equality.
+//!
+//! The design is the classic one: a [`BddManager`] owns a node arena with a
+//! unique table (hash-consing guarantees canonicity under a fixed variable
+//! order), an ITE computed-cache, quantification and relational-product
+//! operators, order-preserving renaming, model counting, and cube
+//! enumeration. Negation is a cached recursive operation — complement edges
+//! are deliberately omitted for simplicity and debuggability.
+//!
+//! # Examples
+//!
+//! ```
+//! use presat_bdd::BddManager;
+//! use presat_logic::Var;
+//!
+//! let mut m = BddManager::new(2);
+//! let x = m.var(Var::new(0));
+//! let y = m.var(Var::new(1));
+//! let f = m.and(x, y);
+//! assert_eq!(m.satcount(f, 2), 1);
+//! let g = m.or(x, y);
+//! assert_eq!(m.satcount(g, 2), 3);
+//! // ∃x. (x ∧ y) = y
+//! let e = m.exists(f, &[Var::new(0)]);
+//! assert_eq!(e, y);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compose;
+mod count;
+mod io;
+mod manager;
+mod node;
+mod quantify;
+mod restrict;
+
+pub use manager::BddManager;
+pub use node::BddId;

@@ -1,0 +1,83 @@
+use std::fmt;
+
+/// Handle to a node in a [`crate::BddManager`].
+///
+/// Ids `0` and `1` are the constant terminals ⊥ and ⊤; all other ids refer
+/// to internal decision nodes. Handles are only meaningful relative to the
+/// manager that produced them, and canonical within it: two functions are
+/// equal iff their `BddId`s are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddId(pub(crate) u32);
+
+impl BddId {
+    /// The constant-false terminal.
+    pub const FALSE: BddId = BddId(0);
+    /// The constant-true terminal.
+    pub const TRUE: BddId = BddId(1);
+
+    /// `true` for either terminal.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// `true` for the ⊥ terminal.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == BddId::FALSE
+    }
+
+    /// `true` for the ⊤ terminal.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == BddId::TRUE
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BddId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BddId::FALSE => write!(f, "⊥"),
+            BddId::TRUE => write!(f, "⊤"),
+            BddId(n) => write!(f, "n{n}"),
+        }
+    }
+}
+
+/// An internal decision node: branch on `var` (level == variable index),
+/// `lo` when false, `hi` when true.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) lo: BddId,
+    pub(crate) hi: BddId,
+}
+
+/// Sentinel variable level for terminal slots (sorts after every real var).
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_terminal() {
+        assert!(BddId::FALSE.is_terminal());
+        assert!(BddId::TRUE.is_terminal());
+        assert!(BddId::FALSE.is_false());
+        assert!(BddId::TRUE.is_true());
+        assert!(!BddId(2).is_terminal());
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", BddId::FALSE), "⊥");
+        assert_eq!(format!("{:?}", BddId::TRUE), "⊤");
+        assert_eq!(format!("{:?}", BddId(5)), "n5");
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure F4 bench: ablation of the success-driven mechanisms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use presat_allsat::SignatureMode;
+use presat_bench::workloads::ablation_workloads;
+use presat_preimage::{PreimageEngine, SatPreimage};
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let configs: Vec<(&str, SatPreimage)> = vec![
+        ("full", SatPreimage::success_driven()),
+        (
+            "static-sig",
+            SatPreimage::success_driven_with(SignatureMode::Static, true),
+        ),
+        (
+            "no-reuse",
+            SatPreimage::success_driven_with(SignatureMode::None, true),
+        ),
+        (
+            "no-guidance",
+            SatPreimage::success_driven_with(SignatureMode::Dynamic, false),
+        ),
+        (
+            "bare",
+            SatPreimage::success_driven_with(SignatureMode::None, false),
+        ),
+    ];
+    for w in ablation_workloads() {
+        for (name, engine) in &configs {
+            group.bench_with_input(
+                BenchmarkId::new(*name, &w.label),
+                &w,
+                |b, w| b.iter(|| engine.preimage(&w.circuit, &w.target)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

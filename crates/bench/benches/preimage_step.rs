@@ -1,0 +1,45 @@
+//! Table R2 bench: single-step preimage runtime, engine × circuit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use presat_bench::workloads::{scaling_workload, Workload};
+use presat_circuit::{embedded, generators};
+use presat_preimage::{PreimageEngine, SatPreimage, StateSet};
+
+fn bench_workloads() -> Vec<Workload> {
+    let mut v = vec![scaling_workload(6), scaling_workload(8)];
+    v.push(Workload {
+        label: "s27".into(),
+        circuit: embedded::s27().expect("embedded"),
+        target: StateSet::from_state_bits(0b110, 3),
+    });
+    v.push(Workload {
+        label: "shift10".into(),
+        circuit: generators::shift_register(10),
+        target: StateSet::from_partial(&[(9, true)]),
+    });
+    v
+}
+
+fn preimage_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preimage_step");
+    group.sample_size(10);
+    let engines: Vec<(&str, Box<dyn PreimageEngine>)> = vec![
+        ("blocking", Box::new(SatPreimage::blocking())),
+        ("min-blocking", Box::new(SatPreimage::min_blocking())),
+        ("success-driven", Box::new(SatPreimage::success_driven())),
+    ];
+    for w in bench_workloads() {
+        for (name, engine) in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(*name, &w.label),
+                &w,
+                |b, w| b.iter(|| engine.preimage(&w.circuit, &w.target)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, preimage_step);
+criterion_main!(benches);

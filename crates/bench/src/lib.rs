@@ -1,0 +1,8 @@
+//! Shared workload definitions for the benchmark harness.
+//!
+//! Both the Criterion benches (`benches/`) and the `tables` binary (which
+//! regenerates every reconstructed table and figure of `EXPERIMENTS.md`)
+//! draw their circuits and targets from here, so the numbers they report
+//! describe the same experiments.
+
+pub mod workloads;

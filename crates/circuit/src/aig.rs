@@ -1,0 +1,461 @@
+//! And-Inverter Graphs with structural hashing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Not;
+
+/// Index of a node in an [`Aig`] arena. Node 0 is the constant-false node;
+/// leaves and AND gates follow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AigNodeId(u32);
+
+impl AigNodeId {
+    /// The constant node (represents FALSE uncomplemented, TRUE
+    /// complemented).
+    pub const CONST: AigNodeId = AigNodeId(0);
+
+    /// Zero-based arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a node id from an arena index previously obtained via
+    /// [`AigNodeId::index`] or implied by [`Aig::node_count`]. Arena order
+    /// is topological (fanins precede users), which engines exploit for
+    /// single-pass evaluation.
+    #[inline]
+    pub fn from_raw_index(index: usize) -> AigNodeId {
+        AigNodeId(u32::try_from(index).expect("AIG index exceeds u32 range"))
+    }
+}
+
+/// An edge in the AIG: a node plus an optional complement (inversion) flag,
+/// packed as `node << 1 | complemented`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AigRef(u32);
+
+impl AigRef {
+    /// The constant-false function.
+    pub const FALSE: AigRef = AigRef(0);
+    /// The constant-true function.
+    pub const TRUE: AigRef = AigRef(1);
+
+    /// The non-complemented edge to `node`.
+    #[inline]
+    pub fn regular(node: AigNodeId) -> AigRef {
+        AigRef(node.0 << 1)
+    }
+
+    /// The node this edge points to.
+    #[inline]
+    pub fn node(self) -> AigNodeId {
+        AigNodeId(self.0 >> 1)
+    }
+
+    /// `true` if the edge is complemented (inverts its node's function).
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// `true` for the constant edges.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.node() == AigNodeId::CONST
+    }
+}
+
+impl Not for AigRef {
+    type Output = AigRef;
+
+    #[inline]
+    fn not(self) -> AigRef {
+        AigRef(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for AigRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AigRef::FALSE => write!(f, "0"),
+            AigRef::TRUE => write!(f, "1"),
+            r => write!(
+                f,
+                "{}{}",
+                if r.is_complemented() { "!" } else { "" },
+                r.node().index()
+            ),
+        }
+    }
+}
+
+/// A node in the arena.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum AigNode {
+    /// The constant-false node (always at index 0).
+    Const,
+    /// The `i`-th leaf (primary input or latch output — the distinction
+    /// lives in [`crate::Circuit`]).
+    Leaf(u32),
+    /// Two-input AND of the edges.
+    And(AigRef, AigRef),
+}
+
+/// A structurally hashed And-Inverter Graph.
+///
+/// Construction performs constant folding and trivial simplifications
+/// (`a∧a = a`, `a∧¬a = 0`), and identical AND gates are shared. Complemented
+/// edges make inversion free.
+///
+/// # Examples
+///
+/// ```
+/// use presat_circuit::{Aig, AigRef};
+/// let mut g = Aig::new();
+/// let a = g.add_leaf();
+/// let b = g.add_leaf();
+/// let ab = g.and(a, b);
+/// assert_eq!(g.and(a, b), ab);      // structural hashing
+/// assert_eq!(g.and(a, !a), AigRef::FALSE);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    strash: HashMap<(AigRef, AigRef), AigNodeId>,
+    num_leaves: usize,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![AigNode::Const],
+            strash: HashMap::new(),
+            num_leaves: 0,
+        }
+    }
+
+    /// Number of nodes in the arena (constant + leaves + AND gates).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND gates.
+    pub fn and_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNode::And(..)))
+            .count()
+    }
+
+    /// Number of leaves created so far.
+    pub fn leaf_count(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Creates a fresh leaf and returns its (regular) edge.
+    pub fn add_leaf(&mut self) -> AigRef {
+        let id = AigNodeId(u32::try_from(self.nodes.len()).expect("AIG arena overflow"));
+        self.nodes.push(AigNode::Leaf(self.num_leaves as u32));
+        self.num_leaves += 1;
+        AigRef::regular(id)
+    }
+
+    /// The regular edge of the `i`-th leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `i + 1` leaves exist.
+    pub fn leaf(&self, i: usize) -> AigRef {
+        assert!(i < self.num_leaves, "leaf {i} not created yet");
+        // Leaves are allocated in order but may interleave with ANDs; scan.
+        // To keep this O(1) we exploit that leaves are usually created
+        // first; fall back to a scan otherwise.
+        for (idx, n) in self.nodes.iter().enumerate() {
+            if let AigNode::Leaf(k) = n {
+                if *k as usize == i {
+                    return AigRef::regular(AigNodeId(idx as u32));
+                }
+            }
+        }
+        unreachable!("leaf bookkeeping out of sync")
+    }
+
+    /// The leaf ordinal of `node`, if it is a leaf.
+    pub fn leaf_index(&self, node: AigNodeId) -> Option<usize> {
+        match self.nodes[node.index()] {
+            AigNode::Leaf(k) => Some(k as usize),
+            _ => None,
+        }
+    }
+
+    /// The AND-gate fanins of `node`, if it is an AND.
+    pub fn and_fanins(&self, node: AigNodeId) -> Option<(AigRef, AigRef)> {
+        match self.nodes[node.index()] {
+            AigNode::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// `true` if `node` is the constant node.
+    pub fn is_const_node(&self, node: AigNodeId) -> bool {
+        matches!(self.nodes[node.index()], AigNode::Const)
+    }
+
+    /// AND of two edges, with folding and structural hashing.
+    pub fn and(&mut self, a: AigRef, b: AigRef) -> AigRef {
+        // Constant / trivial folding.
+        if a == AigRef::FALSE || b == AigRef::FALSE || a == !b {
+            return AigRef::FALSE;
+        }
+        if a == AigRef::TRUE {
+            return b;
+        }
+        if b == AigRef::TRUE || a == b {
+            return a;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&key) {
+            return AigRef::regular(id);
+        }
+        let id = AigNodeId(u32::try_from(self.nodes.len()).expect("AIG arena overflow"));
+        self.nodes.push(AigNode::And(key.0, key.1));
+        self.strash.insert(key, id);
+        AigRef::regular(id)
+    }
+
+    /// Negation (free: flips the complement bit).
+    pub fn not(&mut self, a: AigRef) -> AigRef {
+        !a
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: AigRef, b: AigRef) -> AigRef {
+        let n = self.and(!a, !b);
+        !n
+    }
+
+    /// XOR as two ANDs.
+    pub fn xor(&mut self, a: AigRef, b: AigRef) -> AigRef {
+        let l = self.and(a, !b);
+        let r = self.and(!a, b);
+        self.or(l, r)
+    }
+
+    /// XNOR (equivalence).
+    pub fn xnor(&mut self, a: AigRef, b: AigRef) -> AigRef {
+        let x = self.xor(a, b);
+        !x
+    }
+
+    /// Multiplexer: `sel ? t : e`.
+    pub fn mux(&mut self, sel: AigRef, t: AigRef, e: AigRef) -> AigRef {
+        let a = self.and(sel, t);
+        let b = self.and(!sel, e);
+        self.or(a, b)
+    }
+
+    /// N-ary AND (balanced reduction).
+    pub fn and_many(&mut self, refs: &[AigRef]) -> AigRef {
+        match refs {
+            [] => AigRef::TRUE,
+            [r] => *r,
+            _ => {
+                let (l, r) = refs.split_at(refs.len() / 2);
+                let lv = self.and_many(l);
+                let rv = self.and_many(r);
+                self.and(lv, rv)
+            }
+        }
+    }
+
+    /// N-ary OR (balanced reduction).
+    pub fn or_many(&mut self, refs: &[AigRef]) -> AigRef {
+        match refs {
+            [] => AigRef::FALSE,
+            [r] => *r,
+            _ => {
+                let (l, r) = refs.split_at(refs.len() / 2);
+                let lv = self.or_many(l);
+                let rv = self.or_many(r);
+                self.or(lv, rv)
+            }
+        }
+    }
+
+    /// N-ary XOR (parity, balanced reduction).
+    pub fn xor_many(&mut self, refs: &[AigRef]) -> AigRef {
+        match refs {
+            [] => AigRef::FALSE,
+            [r] => *r,
+            _ => {
+                let (l, r) = refs.split_at(refs.len() / 2);
+                let lv = self.xor_many(l);
+                let rv = self.xor_many(r);
+                self.xor(lv, rv)
+            }
+        }
+    }
+
+    /// Evaluates the function of `root` given one `u64` word per leaf
+    /// (64 parallel patterns).
+    pub fn eval64(&self, root: AigRef, leaf_words: &[u64]) -> u64 {
+        let mut values = vec![0u64; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            values[i] = match *n {
+                AigNode::Const => 0,
+                AigNode::Leaf(k) => leaf_words[k as usize],
+                AigNode::And(a, b) => {
+                    let av = values[a.node().index()] ^ if a.is_complemented() { !0 } else { 0 };
+                    let bv = values[b.node().index()] ^ if b.is_complemented() { !0 } else { 0 };
+                    av & bv
+                }
+            };
+        }
+        let v = values[root.node().index()];
+        if root.is_complemented() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// Evaluates many roots in one pass over the arena.
+    pub fn eval64_many(&self, roots: &[AigRef], leaf_words: &[u64]) -> Vec<u64> {
+        let mut values = vec![0u64; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            values[i] = match *n {
+                AigNode::Const => 0,
+                AigNode::Leaf(k) => leaf_words[k as usize],
+                AigNode::And(a, b) => {
+                    let av = values[a.node().index()] ^ if a.is_complemented() { !0 } else { 0 };
+                    let bv = values[b.node().index()] ^ if b.is_complemented() { !0 } else { 0 };
+                    av & bv
+                }
+            };
+        }
+        roots
+            .iter()
+            .map(|r| {
+                let v = values[r.node().index()];
+                if r.is_complemented() {
+                    !v
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_edges() {
+        assert_eq!(!AigRef::FALSE, AigRef::TRUE);
+        assert!(AigRef::FALSE.is_const());
+        assert!(AigRef::TRUE.is_const());
+    }
+
+    #[test]
+    fn folding_rules() {
+        let mut g = Aig::new();
+        let a = g.add_leaf();
+        assert_eq!(g.and(a, AigRef::FALSE), AigRef::FALSE);
+        assert_eq!(g.and(a, AigRef::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), AigRef::FALSE);
+    }
+
+    #[test]
+    fn structural_hashing_shares() {
+        let mut g = Aig::new();
+        let a = g.add_leaf();
+        let b = g.add_leaf();
+        let x = g.and(a, b);
+        let y = g.and(b, a); // commuted
+        assert_eq!(x, y);
+        assert_eq!(g.and_count(), 1);
+    }
+
+    #[test]
+    fn xor_semantics() {
+        let mut g = Aig::new();
+        let a = g.add_leaf();
+        let b = g.add_leaf();
+        let x = g.xor(a, b);
+        // leaf words: a = 0b0101..., b = 0b0011 pattern over 4 cases
+        let av = 0b0101u64;
+        let bv = 0b0011u64;
+        assert_eq!(g.eval64(x, &[av, bv]) & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn mux_semantics() {
+        let mut g = Aig::new();
+        let s = g.add_leaf();
+        let t = g.add_leaf();
+        let e = g.add_leaf();
+        let m = g.mux(s, t, e);
+        // s=0101, t=0011, e=1100 → m = s?t:e = 0b...: for each bit:
+        // s=1→t, s=0→e: bits: (s0=1,t0=1→1),(s1=0,e1=0→0),(s2=1,t2=0→0),(s3=0,e3=1→1)
+        assert_eq!(g.eval64(m, &[0b0101, 0b0011, 0b1100]) & 0xF, 0b1001);
+    }
+
+    #[test]
+    fn nary_reductions() {
+        let mut g = Aig::new();
+        let leaves: Vec<AigRef> = (0..5).map(|_| g.add_leaf()).collect();
+        let all = g.and_many(&leaves);
+        let any = g.or_many(&leaves);
+        let parity = g.xor_many(&leaves);
+        let words: Vec<u64> = vec![0b11111, 0b11110, 0b11010, 0b00001, 0b10101];
+        // Evaluate on bit 0: leaves = 1,0,0,1,1 → and=0, or=1, parity=1^0^0^1^1=1
+        let a = g.eval64(all, &words);
+        let o = g.eval64(any, &words);
+        let p = g.eval64(parity, &words);
+        assert_eq!(a & 1, 0);
+        assert_eq!(o & 1, 1);
+        assert_eq!(p & 1, 1);
+        // Empty reductions.
+        assert_eq!(g.and_many(&[]), AigRef::TRUE);
+        assert_eq!(g.or_many(&[]), AigRef::FALSE);
+        assert_eq!(g.xor_many(&[]), AigRef::FALSE);
+    }
+
+    #[test]
+    fn eval_complemented_root() {
+        let mut g = Aig::new();
+        let a = g.add_leaf();
+        assert_eq!(g.eval64(!a, &[0b01]) & 0b11, 0b10);
+    }
+
+    #[test]
+    fn leaf_lookup() {
+        let mut g = Aig::new();
+        let a = g.add_leaf();
+        let b = g.add_leaf();
+        let _ = g.and(a, b);
+        let c = g.add_leaf(); // leaf created after an AND
+        assert_eq!(g.leaf(0), a);
+        assert_eq!(g.leaf(2), c);
+        assert_eq!(g.leaf_index(c.node()), Some(2));
+        assert_eq!(g.leaf_index(AigNodeId::CONST), None);
+    }
+
+    #[test]
+    fn eval_many_matches_single() {
+        let mut g = Aig::new();
+        let a = g.add_leaf();
+        let b = g.add_leaf();
+        let x = g.xor(a, b);
+        let y = g.and(a, b);
+        let words = [0xDEAD_BEEF_u64, 0x1234_5678];
+        let many = g.eval64_many(&[x, y], &words);
+        assert_eq!(many[0], g.eval64(x, &words));
+        assert_eq!(many[1], g.eval64(y, &words));
+    }
+}

@@ -1,0 +1,518 @@
+//! ISCAS89-style `.bench` netlist parsing and writing.
+//!
+//! The `.bench` format is the lingua franca of the ISCAS85/89 benchmark
+//! suites: `INPUT(x)` / `OUTPUT(y)` declarations and gate assignments
+//! `g = AND(a, b, …)` with gate types AND, OR, NAND, NOR, NOT, BUFF, XOR,
+//! XNOR, and DFF for latches.
+//!
+//! # Examples
+//!
+//! ```
+//! let text = "
+//! INPUT(a)
+//! OUTPUT(y)
+//! s = DFF(n)
+//! n = XOR(a, s)
+//! y = NOT(s)
+//! ";
+//! let c = presat_circuit::bench::parse(text)?;
+//! assert_eq!(c.num_inputs(), 1);
+//! assert_eq!(c.num_latches(), 1);
+//! assert_eq!(c.num_outputs(), 1);
+//! # Ok::<(), presat_circuit::bench::ParseBenchError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::aig::AigRef;
+use crate::Circuit;
+
+/// Error produced while parsing `.bench` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line was not a declaration, assignment, or comment.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A gate type is not supported.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate keyword found.
+        gate: String,
+    },
+    /// A gate has the wrong number of operands (e.g. binary NOT).
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+        /// The gate keyword.
+        gate: String,
+        /// Operand count found.
+        arity: usize,
+    },
+    /// A signal is referenced but never defined.
+    UndefinedSignal {
+        /// The signal name.
+        name: String,
+    },
+    /// A signal is defined more than once.
+    Redefined {
+        /// 1-based line number of the second definition.
+        line: usize,
+        /// The signal name.
+        name: String,
+    },
+    /// The combinational logic contains a cycle.
+    CombinationalLoop {
+        /// A signal on the cycle.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::BadLine { line } => write!(f, "unparseable line {line}"),
+            ParseBenchError::UnknownGate { line, gate } => {
+                write!(f, "unknown gate type {gate:?} at line {line}")
+            }
+            ParseBenchError::BadArity { line, gate, arity } => {
+                write!(f, "gate {gate} with {arity} operands at line {line}")
+            }
+            ParseBenchError::UndefinedSignal { name } => {
+                write!(f, "signal {name:?} referenced but never defined")
+            }
+            ParseBenchError::Redefined { line, name } => {
+                write!(f, "signal {name:?} redefined at line {line}")
+            }
+            ParseBenchError::CombinationalLoop { name } => {
+                write!(f, "combinational loop through signal {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateKind {
+    And,
+    Or,
+    Nand,
+    Nor,
+    Not,
+    Buff,
+    Xor,
+    Xnor,
+}
+
+impl GateKind {
+    fn from_keyword(kw: &str) -> Option<GateKind> {
+        match kw.to_ascii_uppercase().as_str() {
+            "AND" => Some(GateKind::And),
+            "OR" => Some(GateKind::Or),
+            "NAND" => Some(GateKind::Nand),
+            "NOR" => Some(GateKind::Nor),
+            "NOT" => Some(GateKind::Not),
+            "BUF" | "BUFF" => Some(GateKind::Buff),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `.bench` text into a [`Circuit`].
+///
+/// Latch (DFF) initial values default to 0, matching ISCAS89 convention.
+///
+/// # Errors
+///
+/// Returns a [`ParseBenchError`] describing the first problem found.
+pub fn parse(text: &str) -> Result<Circuit, ParseBenchError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    // name → (gate, operands) for combinational gates.
+    let mut gates: HashMap<String, (GateKind, Vec<String>)> = HashMap::new();
+    // latch output name → next-state signal name.
+    let mut dffs: Vec<(String, String)> = Vec::new();
+    let mut defined: HashMap<String, usize> = HashMap::new();
+
+    for (lineno0, raw) in text.lines().enumerate() {
+        let line_no = lineno0 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if let Some(rest) = upper
+            .strip_prefix("INPUT")
+            .and_then(|r| r.trim().strip_prefix('('))
+        {
+            let name = rest
+                .strip_suffix(')')
+                .ok_or(ParseBenchError::BadLine { line: line_no })?
+                .trim();
+            // Preserve original casing from the raw line.
+            let orig = extract_parenthesized(line).unwrap_or(name);
+            if defined.insert(orig.to_string(), line_no).is_some() {
+                return Err(ParseBenchError::Redefined {
+                    line: line_no,
+                    name: orig.to_string(),
+                });
+            }
+            inputs.push(orig.to_string());
+            continue;
+        }
+        if upper.starts_with("OUTPUT") {
+            let orig =
+                extract_parenthesized(line).ok_or(ParseBenchError::BadLine { line: line_no })?;
+            outputs.push(orig.to_string());
+            continue;
+        }
+        // Assignment: name = GATE(args)
+        let Some((lhs, rhs)) = line.split_once('=') else {
+            return Err(ParseBenchError::BadLine { line: line_no });
+        };
+        let name = lhs.trim().to_string();
+        let rhs = rhs.trim();
+        let Some(open) = rhs.find('(') else {
+            return Err(ParseBenchError::BadLine { line: line_no });
+        };
+        let keyword = rhs[..open].trim();
+        let args_str = rhs[open + 1..]
+            .strip_suffix(')')
+            .ok_or(ParseBenchError::BadLine { line: line_no })?;
+        let args: Vec<String> = args_str
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if defined.insert(name.clone(), line_no).is_some() {
+            return Err(ParseBenchError::Redefined {
+                line: line_no,
+                name,
+            });
+        }
+        if keyword.eq_ignore_ascii_case("DFF") {
+            if args.len() != 1 {
+                return Err(ParseBenchError::BadArity {
+                    line: line_no,
+                    gate: "DFF".into(),
+                    arity: args.len(),
+                });
+            }
+            dffs.push((name, args[0].clone()));
+            continue;
+        }
+        let kind = GateKind::from_keyword(keyword).ok_or_else(|| ParseBenchError::UnknownGate {
+            line: line_no,
+            gate: keyword.to_string(),
+        })?;
+        let arity_ok = match kind {
+            GateKind::Not | GateKind::Buff => args.len() == 1,
+            _ => args.len() >= 2,
+        };
+        if !arity_ok {
+            return Err(ParseBenchError::BadArity {
+                line: line_no,
+                gate: keyword.to_string(),
+                arity: args.len(),
+            });
+        }
+        gates.insert(name, (kind, args));
+    }
+
+    // Allocate the circuit: leaves are inputs then latch outputs.
+    let mut circuit = Circuit::new(inputs.len(), dffs.len());
+    let mut sig: HashMap<String, AigRef> = HashMap::new();
+    for (i, name) in inputs.iter().enumerate() {
+        sig.insert(name.clone(), circuit.input_ref(i));
+    }
+    for (j, (name, _)) in dffs.iter().enumerate() {
+        sig.insert(name.clone(), circuit.state_ref(j));
+    }
+
+    // Iterative resolution with cycle detection.
+    fn resolve(
+        name: &str,
+        gates: &HashMap<String, (GateKind, Vec<String>)>,
+        sig: &mut HashMap<String, AigRef>,
+        circuit: &mut Circuit,
+    ) -> Result<AigRef, ParseBenchError> {
+        if let Some(&r) = sig.get(name) {
+            return Ok(r);
+        }
+        // Two-phase iterative DFS: an Enter visit marks the signal "on the
+        // current path" and schedules its operands; the matching Exit visit
+        // builds the gate. Meeting an Enter for a signal already on the
+        // path is a combinational cycle.
+        let mut on_path: HashMap<String, ()> = HashMap::new();
+        let mut stack: Vec<(String, bool)> = vec![(name.to_string(), false)];
+        while let Some((top, expanded)) = stack.pop() {
+            if sig.contains_key(&top) {
+                continue;
+            }
+            let (kind, args) = gates
+                .get(&top)
+                .ok_or_else(|| ParseBenchError::UndefinedSignal { name: top.clone() })?
+                .clone();
+            if !expanded {
+                if on_path.contains_key(&top) {
+                    return Err(ParseBenchError::CombinationalLoop { name: top });
+                }
+                on_path.insert(top.clone(), ());
+                stack.push((top, true));
+                for a in &args {
+                    if !sig.contains_key(a) {
+                        stack.push((a.clone(), false));
+                    }
+                }
+                continue;
+            }
+            let operands: Vec<AigRef> = args.iter().map(|a| sig[a]).collect();
+            let aig = circuit.aig_mut();
+            let value = match kind {
+                GateKind::And => aig.and_many(&operands),
+                GateKind::Nand => {
+                    let v = aig.and_many(&operands);
+                    !v
+                }
+                GateKind::Or => aig.or_many(&operands),
+                GateKind::Nor => {
+                    let v = aig.or_many(&operands);
+                    !v
+                }
+                GateKind::Xor => aig.xor_many(&operands),
+                GateKind::Xnor => {
+                    let v = aig.xor_many(&operands);
+                    !v
+                }
+                GateKind::Not => !operands[0],
+                GateKind::Buff => operands[0],
+            };
+            on_path.remove(&top);
+            sig.insert(top, value);
+        }
+        Ok(sig[name])
+    }
+
+    let dff_list = dffs.clone();
+    for (j, (_, next_name)) in dff_list.iter().enumerate() {
+        let f = resolve(next_name, &gates, &mut sig, &mut circuit)?;
+        circuit.set_latch_next(j, f);
+    }
+    for name in &outputs {
+        let f = resolve(name, &gates, &mut sig, &mut circuit)?;
+        circuit.add_output(name.clone(), f);
+    }
+    Ok(circuit)
+}
+
+fn extract_parenthesized(line: &str) -> Option<&str> {
+    let open = line.find('(')?;
+    let close = line.rfind(')')?;
+    (close > open).then(|| line[open + 1..close].trim())
+}
+
+/// Serializes a circuit back to `.bench` text (AND/NOT decomposition of the
+/// AIG; complemented edges become NOT gates).
+pub fn write(circuit: &Circuit) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} (written by presat)", circuit.name());
+    for i in 0..circuit.num_inputs() {
+        let _ = writeln!(out, "INPUT(w{i})");
+    }
+    for (k, _) in circuit.outputs().iter().enumerate() {
+        let _ = writeln!(out, "OUTPUT(o{k})");
+    }
+
+    let mut names: HashMap<AigRef, String> = HashMap::new();
+    names.insert(AigRef::FALSE, "const0".to_string());
+    names.insert(AigRef::TRUE, "const1".to_string());
+    let mut const_used = false;
+    for i in 0..circuit.num_inputs() {
+        names.insert(circuit.input_ref(i), format!("w{i}"));
+    }
+    for j in 0..circuit.num_latches() {
+        names.insert(circuit.state_ref(j), format!("s{j}"));
+    }
+
+    let mut body = String::new();
+    // Name of a (possibly complemented) edge, emitting gates as needed.
+    fn name_of(
+        circuit: &Circuit,
+        r: AigRef,
+        names: &mut HashMap<AigRef, String>,
+        body: &mut String,
+        const_used: &mut bool,
+    ) -> String {
+        use std::fmt::Write;
+        if let Some(n) = names.get(&r) {
+            if r.is_const() {
+                *const_used = true;
+            }
+            return n.clone();
+        }
+        if r.is_complemented() {
+            let base = name_of(circuit, !r, names, body, const_used);
+            let n = format!("{base}_n");
+            let _ = writeln!(body, "{n} = NOT({base})");
+            names.insert(r, n.clone());
+            return n;
+        }
+        let (a, b) = circuit
+            .aig()
+            .and_fanins(r.node())
+            .expect("unnamed regular edge must be an AND gate");
+        let an = name_of(circuit, a, names, body, const_used);
+        let bn = name_of(circuit, b, names, body, const_used);
+        let n = format!("g{}", r.node().index());
+        let _ = writeln!(body, "{n} = AND({an}, {bn})");
+        names.insert(r, n.clone());
+        n
+    }
+
+    for j in 0..circuit.num_latches() {
+        let next = circuit.latch_next(j);
+        let nn = name_of(circuit, next, &mut names, &mut body, &mut const_used);
+        let _ = writeln!(out, "s{j} = DFF({nn})");
+    }
+    for (k, (_, f)) in circuit.outputs().iter().enumerate() {
+        let fname = name_of(circuit, *f, &mut names, &mut body, &mut const_used);
+        let _ = writeln!(body, "o{k} = BUFF({fname})");
+    }
+    if const_used {
+        // const0 = x ∧ ¬x over the first available signal.
+        let some = if circuit.num_inputs() > 0 {
+            "w0".to_string()
+        } else {
+            "s0".to_string()
+        };
+        let _ = writeln!(out, "{some}_inv = NOT({some})");
+        let _ = writeln!(out, "const0 = AND({some}, {some}_inv)");
+        let _ = writeln!(out, "const1 = NOT(const0)");
+    }
+    out.push_str(&body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    const TOGGLE: &str = "
+# toggle with enable
+INPUT(en)
+OUTPUT(q)
+s = DFF(n)
+n = XOR(en, s)
+q = BUFF(s)
+";
+
+    #[test]
+    fn parse_toggle() {
+        let c = parse(TOGGLE).unwrap();
+        assert_eq!(c.num_inputs(), 1);
+        assert_eq!(c.num_latches(), 1);
+        assert_eq!(c.num_outputs(), 1);
+        // en=1, s=0 → next 1 ; en=0, s=1 → stays 1
+        let next = sim::next_state(&c, &[0b01], &[0b10]);
+        assert_eq!(next[0] & 0b11, 0b11);
+    }
+
+    #[test]
+    fn parse_nary_gates() {
+        let text = "
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+y = NAND(a, b, c)
+";
+        let c = parse(text).unwrap();
+        let (outs, _) = sim::step(&c, &[0b1111, 0b1101, 0b1011], &[]);
+        // NAND of (a,b,c): lanes: 0:(1,1,1)→0, 1:(1,0,1)→1, 2:(1,1,0)→1, 3:(1,1,1)→0
+        assert_eq!(outs[0] & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn out_of_order_definitions_ok() {
+        let text = "
+OUTPUT(y)
+y = NOT(x)
+x = AND(a, b)
+INPUT(a)
+INPUT(b)
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+        let (outs, _) = sim::step(&c, &[0b11, 0b01], &[]);
+        assert_eq!(outs[0] & 0b11, 0b10);
+    }
+
+    #[test]
+    fn error_on_undefined_signal() {
+        let r = parse("OUTPUT(y)\ny = NOT(ghost)\n");
+        assert!(matches!(r, Err(ParseBenchError::UndefinedSignal { .. })));
+    }
+
+    #[test]
+    fn error_on_combinational_loop() {
+        let r = parse("OUTPUT(a)\na = NOT(b)\nb = NOT(a)\n");
+        assert!(matches!(r, Err(ParseBenchError::CombinationalLoop { .. })));
+    }
+
+    #[test]
+    fn error_on_redefinition() {
+        let r = parse("INPUT(a)\na = NOT(a)\n");
+        assert!(matches!(r, Err(ParseBenchError::Redefined { .. })));
+    }
+
+    #[test]
+    fn error_on_unknown_gate() {
+        let r = parse("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n");
+        assert!(matches!(r, Err(ParseBenchError::UnknownGate { .. })));
+    }
+
+    #[test]
+    fn error_on_bad_arity() {
+        let r = parse("INPUT(a)\nINPUT(b)\ny = NOT(a, b)\nOUTPUT(y)\n");
+        assert!(matches!(r, Err(ParseBenchError::BadArity { .. })));
+    }
+
+    #[test]
+    fn dff_latches_are_state() {
+        let c = parse(TOGGLE).unwrap();
+        assert_eq!(c.latch_init(0), Some(false));
+    }
+
+    #[test]
+    fn write_parse_round_trip_preserves_behaviour() {
+        let original = parse(TOGGLE).unwrap();
+        let text = write(&original);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.num_inputs(), original.num_inputs());
+        assert_eq!(reparsed.num_latches(), original.num_latches());
+        // Compare transition functions exhaustively.
+        let t1 = sim::enumerate_transitions(&original);
+        let t2 = sim::enumerate_transitions(&reparsed);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn write_handles_constant_next_state() {
+        let mut c = Circuit::new(1, 1);
+        c.set_latch_next(0, AigRef::TRUE);
+        c.add_output("y", c.state_ref(0));
+        let text = write(&c);
+        let re = parse(&text).unwrap();
+        let t1 = sim::enumerate_transitions(&c);
+        let t2 = sim::enumerate_transitions(&re);
+        assert_eq!(t1, t2);
+    }
+}

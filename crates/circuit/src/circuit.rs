@@ -1,0 +1,290 @@
+//! The sequential circuit model.
+
+use std::fmt;
+
+use crate::aig::{Aig, AigRef};
+
+/// A synchronous sequential circuit: an AIG whose leaves are the primary
+/// inputs followed by the latch outputs, plus per-latch next-state functions
+/// and named primary outputs.
+///
+/// Leaf layout convention (relied on throughout the workspace):
+/// leaf `0..num_inputs` are the primary inputs `w0..`, and leaf
+/// `num_inputs..num_inputs+num_latches` are the present-state variables
+/// `s0..`.
+///
+/// # Examples
+///
+/// ```
+/// use presat_circuit::Circuit;
+///
+/// // 2-bit counter: s' = s + 1
+/// let mut c = Circuit::new(0, 2);
+/// let s0 = c.state_ref(0);
+/// let s1 = c.state_ref(1);
+/// let n0 = c.aig_mut().not(s0);
+/// let n1 = c.aig_mut().xor(s1, s0);
+/// c.set_latch_next(0, n0);
+/// c.set_latch_next(1, n1);
+/// assert_eq!(c.num_latches(), 2);
+/// c.validate().expect("well-formed");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    aig: Aig,
+    num_inputs: usize,
+    num_latches: usize,
+    latch_next: Vec<Option<AigRef>>,
+    latch_init: Vec<Option<bool>>,
+    outputs: Vec<(String, AigRef)>,
+    name: String,
+}
+
+/// Error returned by [`Circuit::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateCircuitError {
+    /// A latch has no next-state function.
+    MissingNext {
+        /// Index of the incomplete latch.
+        latch: usize,
+    },
+}
+
+impl fmt::Display for ValidateCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateCircuitError::MissingNext { latch } => {
+                write!(f, "latch {latch} has no next-state function")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateCircuitError {}
+
+impl Circuit {
+    /// Creates a circuit with `num_inputs` primary inputs and `num_latches`
+    /// latches; the AIG leaves for both are pre-allocated in the canonical
+    /// order.
+    pub fn new(num_inputs: usize, num_latches: usize) -> Self {
+        let mut aig = Aig::new();
+        for _ in 0..num_inputs + num_latches {
+            aig.add_leaf();
+        }
+        Circuit {
+            aig,
+            num_inputs,
+            num_latches,
+            latch_next: vec![None; num_latches],
+            latch_init: vec![Some(false); num_latches],
+            outputs: Vec::new(),
+            name: String::from("unnamed"),
+        }
+    }
+
+    /// A human-readable circuit name (used in benchmark tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the circuit name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The underlying AIG.
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// Mutable access to the AIG, for building combinational logic.
+    pub fn aig_mut(&mut self) -> &mut Aig {
+        &mut self.aig
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of latches (state bits).
+    pub fn num_latches(&self) -> usize {
+        self.num_latches
+    }
+
+    /// Number of named primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The AIG edge of primary input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ num_inputs`.
+    pub fn input_ref(&self, i: usize) -> AigRef {
+        assert!(i < self.num_inputs, "input {i} out of range");
+        self.aig.leaf(i)
+    }
+
+    /// The AIG edge of the present-state output of latch `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ num_latches`.
+    pub fn state_ref(&self, j: usize) -> AigRef {
+        assert!(j < self.num_latches, "latch {j} out of range");
+        self.aig.leaf(self.num_inputs + j)
+    }
+
+    /// Sets the next-state function of latch `j`.
+    pub fn set_latch_next(&mut self, j: usize, f: AigRef) {
+        self.latch_next[j] = Some(f);
+    }
+
+    /// The next-state function of latch `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it was never set; call [`Circuit::validate`] first.
+    pub fn latch_next(&self, j: usize) -> AigRef {
+        self.latch_next[j].expect("latch next-state function not set")
+    }
+
+    /// All next-state functions in latch order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some latch is incomplete.
+    pub fn next_state_fns(&self) -> Vec<AigRef> {
+        (0..self.num_latches).map(|j| self.latch_next(j)).collect()
+    }
+
+    /// Sets the reset value of latch `j` (`None` = unconstrained).
+    pub fn set_latch_init(&mut self, j: usize, init: Option<bool>) {
+        self.latch_init[j] = init;
+    }
+
+    /// The reset value of latch `j`.
+    pub fn latch_init(&self, j: usize) -> Option<bool> {
+        self.latch_init[j]
+    }
+
+    /// Adds a named primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, f: AigRef) {
+        self.outputs.push((name.into(), f));
+    }
+
+    /// The named outputs.
+    pub fn outputs(&self) -> &[(String, AigRef)] {
+        &self.outputs
+    }
+
+    /// Checks structural completeness.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any latch lacks a next-state function.
+    pub fn validate(&self) -> Result<(), ValidateCircuitError> {
+        for (j, n) in self.latch_next.iter().enumerate() {
+            if n.is_none() {
+                return Err(ValidateCircuitError::MissingNext { latch: j });
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary line for benchmark tables: inputs / latches / AND gates.
+    pub fn summary(&self) -> CircuitSummary {
+        CircuitSummary {
+            name: self.name.clone(),
+            inputs: self.num_inputs,
+            latches: self.num_latches,
+            ands: self.aig.and_count(),
+            outputs: self.outputs.len(),
+        }
+    }
+}
+
+/// Static characteristics of a circuit (row of reconstructed Table R1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircuitSummary {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of latches.
+    pub latches: usize,
+    /// Number of AND gates in the AIG.
+    pub ands: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+}
+
+impl fmt::Display for CircuitSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} PI={:<4} L={:<4} AND={:<6} PO={}",
+            self.name, self.inputs, self.latches, self.ands, self.outputs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_layout_is_inputs_then_state() {
+        let c = Circuit::new(2, 3);
+        assert_eq!(c.input_ref(0), c.aig().leaf(0));
+        assert_eq!(c.input_ref(1), c.aig().leaf(1));
+        assert_eq!(c.state_ref(0), c.aig().leaf(2));
+        assert_eq!(c.state_ref(2), c.aig().leaf(4));
+    }
+
+    #[test]
+    fn validate_catches_missing_next() {
+        let mut c = Circuit::new(0, 1);
+        assert_eq!(
+            c.validate(),
+            Err(ValidateCircuitError::MissingNext { latch: 0 })
+        );
+        let s = c.state_ref(0);
+        c.set_latch_next(0, s);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn init_defaults_to_zero() {
+        let mut c = Circuit::new(0, 2);
+        assert_eq!(c.latch_init(0), Some(false));
+        c.set_latch_init(1, None);
+        assert_eq!(c.latch_init(1), None);
+    }
+
+    #[test]
+    fn outputs_are_named() {
+        let mut c = Circuit::new(1, 0);
+        let w = c.input_ref(0);
+        c.add_output("y", w);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.outputs()[0].0, "y");
+    }
+
+    #[test]
+    fn summary_reports_counts() {
+        let mut c = Circuit::new(1, 1);
+        c.set_name("demo");
+        let w = c.input_ref(0);
+        let s = c.state_ref(0);
+        let n = c.aig_mut().and(w, s);
+        c.set_latch_next(0, n);
+        let s = c.summary();
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.inputs, 1);
+        assert_eq!(s.latches, 1);
+        assert_eq!(s.ands, 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cone-of-influence analysis: structural support of AIG functions.
+//!
+//! The success-driven all-SAT solver keys its solution cache on the values
+//! of the *support* of the remaining suffix of branching variables; this
+//! module computes those supports once per circuit.
+
+use crate::aig::{Aig, AigRef};
+
+/// The set of leaf ordinals (sorted) that `root`'s function structurally
+/// depends on.
+pub fn support(aig: &Aig, root: AigRef) -> Vec<usize> {
+    support_many(aig, &[root])
+}
+
+/// The union of the supports of several roots (sorted, deduplicated).
+pub fn support_many(aig: &Aig, roots: &[AigRef]) -> Vec<usize> {
+    let mut visited = vec![false; aig.node_count()];
+    let mut leaves = Vec::new();
+    let mut stack: Vec<_> = roots.iter().map(|r| r.node()).collect();
+    while let Some(node) = stack.pop() {
+        if visited[node.index()] {
+            continue;
+        }
+        visited[node.index()] = true;
+        if let Some(k) = aig.leaf_index(node) {
+            leaves.push(k);
+        } else if let Some((a, b)) = aig.and_fanins(node) {
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    leaves.sort_unstable();
+    leaves.dedup();
+    leaves
+}
+
+/// Number of AND gates in the cone of `roots`.
+pub fn cone_size(aig: &Aig, roots: &[AigRef]) -> usize {
+    let mut visited = vec![false; aig.node_count()];
+    let mut count = 0;
+    let mut stack: Vec<_> = roots.iter().map(|r| r.node()).collect();
+    while let Some(node) = stack.pop() {
+        if visited[node.index()] {
+            continue;
+        }
+        visited[node.index()] = true;
+        if let Some((a, b)) = aig.and_fanins(node) {
+            count += 1;
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_of_leaf_is_itself() {
+        let mut g = Aig::new();
+        let a = g.add_leaf();
+        let _b = g.add_leaf();
+        assert_eq!(support(&g, a), vec![0]);
+        assert_eq!(support(&g, !a), vec![0]);
+    }
+
+    #[test]
+    fn support_of_constant_is_empty() {
+        let g = Aig::new();
+        assert!(support(&g, AigRef::TRUE).is_empty());
+    }
+
+    #[test]
+    fn support_unions_fanins() {
+        let mut g = Aig::new();
+        let a = g.add_leaf();
+        let b = g.add_leaf();
+        let c = g.add_leaf();
+        let ab = g.and(a, b);
+        let f = g.or(ab, c);
+        assert_eq!(support(&g, f), vec![0, 1, 2]);
+        // b folded away: and(a, TRUE) = a
+        let trivial = g.and(a, AigRef::TRUE);
+        assert_eq!(support(&g, trivial), vec![0]);
+    }
+
+    #[test]
+    fn support_many_deduplicates() {
+        let mut g = Aig::new();
+        let a = g.add_leaf();
+        let b = g.add_leaf();
+        let ab = g.and(a, b);
+        let na = g.not(a);
+        assert_eq!(support_many(&g, &[ab, na]), vec![0, 1]);
+    }
+
+    #[test]
+    fn cone_size_counts_shared_gates_once() {
+        let mut g = Aig::new();
+        let a = g.add_leaf();
+        let b = g.add_leaf();
+        let ab = g.and(a, b);
+        let f = g.xor(ab, a); // xor introduces 3 more ANDs
+        let total = cone_size(&g, &[f, ab]);
+        assert_eq!(total, g.and_count());
+    }
+}

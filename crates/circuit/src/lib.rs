@@ -1,0 +1,54 @@
+//! Gate-level netlist substrate for `presat`.
+//!
+//! A sequential circuit here is an And-Inverter Graph ([`Aig`]) whose leaves
+//! are primary inputs and latch (present-state) outputs, plus next-state
+//! functions and output functions ([`Circuit`]). The crate provides:
+//!
+//! * [`Aig`] — structurally hashed AIG construction with constant folding;
+//! * [`Circuit`] — the sequential model (inputs, latches, outputs);
+//! * [`mod@bench`] — an ISCAS89-style `.bench` parser and writer;
+//! * [`Tseitin`] — CNF encoding of AIG cones onto a caller-chosen variable
+//!   layout (the bridge to `presat-sat`);
+//! * [`sim`] — 64-way parallel bit simulation;
+//! * [`generators`] — the parametric benchmark family standing in for the
+//!   original testbench netlists (see `DESIGN.md` for the substitution
+//!   rationale);
+//! * [`embedded`] — small public-domain ISCAS89 netlists shipped as text.
+//!
+//! # Examples
+//!
+//! Build a 1-bit toggle circuit and simulate two steps:
+//!
+//! ```
+//! use presat_circuit::Circuit;
+//!
+//! let mut c = Circuit::new(0, 1);            // no inputs, one latch
+//! let s = c.state_ref(0);
+//! let toggled = c.aig_mut().not(s);
+//! c.set_latch_next(0, toggled);
+//! c.add_output("q", s);
+//!
+//! let mut state = vec![0u64];                 // all-zero initial state
+//! let (out1, next1) = presat_circuit::sim::step(&c, &[], &state);
+//! assert_eq!(out1[0] & 1, 0);
+//! state = next1;
+//! let (out2, _) = presat_circuit::sim::step(&c, &[], &state);
+//! assert_eq!(out2[0] & 1, 1);                 // toggled
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aig;
+pub mod aiger;
+pub mod bench;
+mod circuit;
+pub mod cone;
+pub mod embedded;
+pub mod generators;
+pub mod sim;
+mod tseitin;
+
+pub use aig::{Aig, AigNodeId, AigRef};
+pub use circuit::Circuit;
+pub use tseitin::Tseitin;

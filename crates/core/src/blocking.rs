@@ -1,0 +1,155 @@
+//! The classical blocking-clause all-SAT baseline.
+
+use presat_logic::CubeSet;
+use presat_sat::{SolveResult, Solver};
+
+use crate::engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
+
+/// Naive all-solutions enumeration: solve, project the model onto the
+/// important variables, add a blocking clause over the *full* projected
+/// minterm, repeat until UNSAT.
+///
+/// This is the reference point every all-SAT paper of the era starts from:
+/// correct, simple, and linear in the number of solution **minterms** — i.e.
+/// exponential in the number of important variables on dense solution sets.
+///
+/// # Examples
+///
+/// ```
+/// use presat_allsat::{AllSatEngine, AllSatProblem, BlockingAllSat};
+/// use presat_logic::{Cnf, Lit, Var};
+///
+/// let mut cnf = Cnf::new(2);
+/// cnf.add_clause([Lit::pos(Var::new(0)), Lit::pos(Var::new(1))]);
+/// let problem = AllSatProblem::new(cnf, vec![Var::new(0), Var::new(1)]);
+/// let result = BlockingAllSat::default().enumerate(&problem);
+/// assert_eq!(result.stats.blocking_clauses, 3); // one per minterm
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockingAllSat;
+
+impl BlockingAllSat {
+    /// Creates the engine (stateless).
+    pub fn new() -> Self {
+        BlockingAllSat
+    }
+}
+
+impl AllSatEngine for BlockingAllSat {
+    fn name(&self) -> &'static str {
+        "blocking"
+    }
+
+    fn enumerate(&self, problem: &AllSatProblem) -> AllSatResult {
+        let mut solver = Solver::from_cnf(&problem.cnf);
+        let mut stats = EnumerationStats::default();
+        let mut cubes = CubeSet::new();
+        loop {
+            stats.solver_calls += 1;
+            match solver.solve() {
+                SolveResult::Unsat => break,
+                SolveResult::Sat(model) => {
+                    let minterm = model.project(&problem.important);
+                    stats.cubes_emitted += 1;
+                    stats.literals_before_lift += minterm.len() as u64;
+                    stats.literals_after_lift += minterm.len() as u64;
+                    // Block exactly this minterm.
+                    let blocked = solver.add_clause(minterm.lits().iter().map(|&l| !l));
+                    stats.blocking_clauses += 1;
+                    cubes.insert(minterm);
+                    if !blocked {
+                        // Blocking the last remaining projection point made
+                        // the formula unsatisfiable at level 0.
+                        break;
+                    }
+                }
+            }
+        }
+        stats.sat_conflicts = solver.stats().conflicts;
+        stats.sat_decisions = solver.stats().decisions;
+        AllSatResult {
+            cubes,
+            graph: None,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presat_logic::{truth_table, Cnf, Lit, Var};
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::with_phase(Var::new(v), pos)
+    }
+
+    #[test]
+    fn enumerates_or_projection() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        let p = AllSatProblem::new(cnf.clone(), vec![Var::new(0), Var::new(1)]);
+        let r = BlockingAllSat::new().enumerate(&p);
+        let expect = truth_table::project_models_set(&cnf, &p.important);
+        assert!(r.cubes.semantically_eq(&expect, &p.important));
+        assert_eq!(r.stats.cubes_emitted, 3);
+    }
+
+    #[test]
+    fn unsat_formula_yields_empty_set() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_unit(lit(0, true));
+        cnf.add_unit(lit(0, false));
+        let p = AllSatProblem::new(cnf, vec![Var::new(0)]);
+        let r = BlockingAllSat::new().enumerate(&p);
+        assert!(r.cubes.is_empty());
+        assert_eq!(r.stats.cubes_emitted, 0);
+    }
+
+    #[test]
+    fn hidden_variables_are_projected_away() {
+        // x1 (hidden) free, x0 forced true: projection on x0 is one cube.
+        let mut cnf = Cnf::new(2);
+        cnf.add_unit(lit(0, true));
+        let p = AllSatProblem::new(cnf, vec![Var::new(0)]);
+        let r = BlockingAllSat::new().enumerate(&p);
+        assert_eq!(r.cubes.len(), 1);
+        assert_eq!(r.minterm_count(1), 1);
+        // Both completions of x1 map to the same projection: exactly one
+        // blocking clause needed.
+        assert_eq!(r.stats.blocking_clauses, 1);
+    }
+
+    #[test]
+    fn empty_important_set() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_unit(lit(0, true));
+        let p = AllSatProblem::new(cnf, vec![]);
+        let r = BlockingAllSat::new().enumerate(&p);
+        assert!(r.cubes.is_universe());
+    }
+
+    #[test]
+    fn matches_oracle_on_random_formulas() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(21);
+        for round in 0..25 {
+            let n = 6;
+            let mut cnf = Cnf::new(n);
+            for _ in 0..8 {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect();
+                cnf.add_clause(c);
+            }
+            let important: Vec<Var> = Var::range(3).collect();
+            let p = AllSatProblem::new(cnf.clone(), important.clone());
+            let r = BlockingAllSat::new().enumerate(&p);
+            let expect = truth_table::project_models_set(&cnf, &important);
+            assert!(
+                r.cubes.semantically_eq(&expect, &important),
+                "divergence on round {round}"
+            );
+        }
+    }
+}

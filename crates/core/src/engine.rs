@@ -1,0 +1,202 @@
+//! The common interface of all-solutions engines.
+
+use std::fmt;
+
+use presat_logic::{Cnf, CubeSet, Var};
+
+use crate::solution_graph::{SolutionGraph, SolutionNodeId};
+
+/// An all-SAT instance: a CNF formula plus the ordered list of *important*
+/// variables onto which the model set is projected.
+///
+/// The order of `important` is the branching order used by the
+/// success-driven engine and the level order of the resulting
+/// [`SolutionGraph`]; the enumerated *set* is independent of it.
+#[derive(Clone, Debug)]
+pub struct AllSatProblem {
+    /// The formula.
+    pub cnf: Cnf,
+    /// Projection/branching variables, each distinct and inside the
+    /// formula's variable space.
+    pub important: Vec<Var>,
+}
+
+impl AllSatProblem {
+    /// Creates a problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `important` contains duplicates or variables outside the
+    /// formula's variable space.
+    pub fn new(cnf: Cnf, important: Vec<Var>) -> Self {
+        let mut seen = vec![false; cnf.num_vars()];
+        for &v in &important {
+            assert!(
+                v.index() < cnf.num_vars(),
+                "important variable {v} outside formula space"
+            );
+            assert!(!seen[v.index()], "duplicate important variable {v}");
+            seen[v.index()] = true;
+        }
+        AllSatProblem { cnf, important }
+    }
+
+    /// Number of important variables.
+    pub fn num_important(&self) -> usize {
+        self.important.len()
+    }
+}
+
+/// Work counters shared by every engine, reported in the evaluation tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnumerationStats {
+    /// Calls into the CDCL sub-solver.
+    pub solver_calls: u64,
+    /// Blocking clauses added (zero for the success-driven engine).
+    pub blocking_clauses: u64,
+    /// Cubes emitted before any set-level absorption.
+    pub cubes_emitted: u64,
+    /// Total literal count of emitted cubes before lifting.
+    pub literals_before_lift: u64,
+    /// Total literal count of emitted cubes after lifting.
+    pub literals_after_lift: u64,
+    /// Success-cache hits (subspace reuse) — success-driven engine only.
+    pub cache_hits: u64,
+    /// Success-cache misses — success-driven engine only.
+    pub cache_misses: u64,
+    /// Nodes in the resulting solution graph (success-driven engine only).
+    pub graph_nodes: u64,
+    /// Conflicts reported by the underlying CDCL solver.
+    pub sat_conflicts: u64,
+    /// Decisions reported by the underlying CDCL solver.
+    pub sat_decisions: u64,
+}
+
+impl fmt::Display for EnumerationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calls={} blocks={} cubes={} lift={}→{} cache={}/{} graph={}",
+            self.solver_calls,
+            self.blocking_clauses,
+            self.cubes_emitted,
+            self.literals_before_lift,
+            self.literals_after_lift,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.graph_nodes
+        )
+    }
+}
+
+/// The outcome of an enumeration: the projected solution set as cubes, the
+/// solution graph when the engine builds one, and work counters.
+#[derive(Clone, Debug)]
+pub struct AllSatResult {
+    /// The projection of the formula's models onto the important variables,
+    /// as a union of cubes (absorbed, not necessarily minimal).
+    pub cubes: CubeSet,
+    /// The shared solution graph, for engines that construct one.
+    pub graph: Option<(SolutionGraph, SolutionNodeId)>,
+    /// Work counters.
+    pub stats: EnumerationStats,
+}
+
+impl AllSatResult {
+    /// Exact number of important-variable minterms in the solution set.
+    pub fn minterm_count(&self, num_important: usize) -> u128 {
+        match &self.graph {
+            Some((g, root)) => g.minterm_count(*root),
+            None => self.cubes.minterm_count_over(num_important),
+        }
+    }
+}
+
+/// Extension used by [`AllSatResult::minterm_count`]: counting over the
+/// important-variable universe rather than variable indices requires the
+/// cube set to mention only important variables, which every engine
+/// guarantees; the count treats the `num_important` branching positions as
+/// the universe.
+trait CubeSetExt {
+    fn minterm_count_over(&self, num_important: usize) -> u128;
+}
+
+impl CubeSetExt for CubeSet {
+    fn minterm_count_over(&self, num_important: usize) -> u128 {
+        // The cube variables are arbitrary `Var`s; remap each distinct
+        // variable to a dense position so `CubeSet::minterm_count` (which
+        // counts over x0..x(n-1)) can be reused.
+        use presat_logic::{Cube, Lit};
+        use std::collections::HashMap;
+        let mut positions: HashMap<Var, usize> = HashMap::new();
+        for c in self {
+            for l in c.iter() {
+                let next = positions.len();
+                positions.entry(l.var()).or_insert(next);
+            }
+        }
+        assert!(
+            positions.len() <= num_important,
+            "cube set mentions more variables than the important set"
+        );
+        let remapped: CubeSet = self
+            .iter()
+            .map(|c| {
+                Cube::from_lits(
+                    c.iter()
+                        .map(|l| Lit::with_phase(Var::new(positions[&l.var()]), l.phase())),
+                )
+                .expect("remapping preserves distinctness")
+            })
+            .collect();
+        remapped.minterm_count(num_important)
+    }
+}
+
+/// The interface every all-solutions engine implements.
+///
+/// Engines are value types configured at construction; `enumerate` is
+/// deterministic for a given problem.
+pub trait AllSatEngine {
+    /// A short machine-readable engine name for tables (`"blocking"`,
+    /// `"min-blocking"`, `"success-driven"`).
+    fn name(&self) -> &'static str;
+
+    /// Enumerates the projection of `problem.cnf`'s models onto
+    /// `problem.important`.
+    fn enumerate(&self, problem: &AllSatProblem) -> AllSatResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presat_logic::{Cube, Lit};
+
+    #[test]
+    #[should_panic(expected = "duplicate important variable")]
+    fn rejects_duplicate_important() {
+        let cnf = Cnf::new(2);
+        let _ = AllSatProblem::new(cnf, vec![Var::new(0), Var::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside formula space")]
+    fn rejects_out_of_range_important() {
+        let cnf = Cnf::new(1);
+        let _ = AllSatProblem::new(cnf, vec![Var::new(3)]);
+    }
+
+    #[test]
+    fn minterm_count_over_remaps_sparse_vars() {
+        let mut s = CubeSet::new();
+        s.insert(Cube::unit(Lit::pos(Var::new(17))));
+        assert_eq!(s.minterm_count_over(3), 4);
+    }
+
+    #[test]
+    fn stats_display_is_compact() {
+        let st = EnumerationStats::default();
+        let line = st.to_string();
+        assert!(line.contains("calls=0"));
+    }
+}

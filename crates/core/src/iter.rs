@@ -1,0 +1,178 @@
+//! Streaming enumeration: consume solutions one cube at a time.
+//!
+//! The [`AllSatEngine`](crate::AllSatEngine) interface materializes the
+//! whole solution set; many consumers (test generators, coverage loops)
+//! want to stop early instead — after the first `k` cubes, or as soon as a
+//! cube with some property appears. [`CubeIter`] wraps the
+//! minimized-blocking strategy as a lazy iterator: each `next()` performs
+//! one solve + lift + block round, so abandoning the iterator abandons the
+//! remaining work.
+
+use presat_logic::{Cube, Var};
+use presat_sat::{SolveResult, Solver};
+
+use crate::engine::AllSatProblem;
+use crate::lift::lift_cube;
+
+/// A lazy all-solutions iterator (minimized-blocking strategy).
+///
+/// Yields pairwise-disjointness is *not* guaranteed (lifted cubes may
+/// overlap earlier ones only in already-blocked space, so enumeration
+/// never repeats a solution, but emitted cubes can intersect). The union
+/// of all yielded cubes equals the projection of the formula's models on
+/// the important variables.
+///
+/// # Examples
+///
+/// ```
+/// use presat_allsat::{AllSatProblem, CubeIter};
+/// use presat_logic::{Cnf, Lit, Var};
+///
+/// let mut cnf = Cnf::new(3);
+/// cnf.add_clause([Lit::pos(Var::new(0)), Lit::pos(Var::new(1))]);
+/// let problem = AllSatProblem::new(cnf, (0..2).map(Var::new).collect());
+/// // take just the first cube and stop — no full enumeration happens
+/// let first = CubeIter::new(&problem).next().expect("satisfiable");
+/// assert!(!first.is_empty() || first.is_empty()); // a cube over x0..x1
+/// ```
+#[derive(Debug)]
+pub struct CubeIter {
+    solver: Solver,
+    cnf: presat_logic::Cnf,
+    important: Vec<Var>,
+    exhausted: bool,
+}
+
+impl CubeIter {
+    /// Creates the iterator; no solving happens until the first `next()`.
+    pub fn new(problem: &AllSatProblem) -> Self {
+        CubeIter {
+            solver: Solver::from_cnf(&problem.cnf),
+            cnf: problem.cnf.clone(),
+            important: problem.important.clone(),
+            exhausted: false,
+        }
+    }
+
+    /// `true` once the underlying formula has been proven exhausted (only
+    /// meaningful after `next()` returned `None`).
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+impl Iterator for CubeIter {
+    type Item = Cube;
+
+    fn next(&mut self) -> Option<Cube> {
+        if self.exhausted {
+            return None;
+        }
+        match self.solver.solve() {
+            SolveResult::Unsat => {
+                self.exhausted = true;
+                None
+            }
+            SolveResult::Sat(model) => {
+                let cube = lift_cube(&self.cnf, &model, &self.important);
+                if !self.solver.add_clause(cube.lits().iter().map(|&l| !l)) {
+                    // Blocking the last cube emptied the formula; the
+                    // *next* call will report exhaustion.
+                    self.exhausted = true;
+                }
+                Some(cube)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presat_logic::{truth_table, Cnf, CubeSet, Lit};
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::with_phase(Var::new(v), pos)
+    }
+
+    #[test]
+    fn collects_to_full_projection() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        cnf.add_clause([lit(2, false), lit(1, true)]);
+        let important: Vec<Var> = Var::range(3).collect();
+        let p = AllSatProblem::new(cnf.clone(), important.clone());
+        let cubes: CubeSet = CubeIter::new(&p).collect();
+        let expect = truth_table::project_models_set(&cnf, &important);
+        assert!(cubes.semantically_eq(&expect, &important));
+    }
+
+    #[test]
+    fn early_stop_does_no_extra_work() {
+        // A formula with many solutions: take(1) must terminate instantly
+        // and the iterator must remain usable.
+        let cnf = Cnf::new(20); // no clauses: 2^20 models
+        let important: Vec<Var> = Var::range(20).collect();
+        let p = AllSatProblem::new(cnf, important);
+        let mut it = CubeIter::new(&p);
+        let first = it.next().expect("satisfiable");
+        // With no clauses everything lifts away: the single ⊤ cube.
+        assert!(first.is_empty());
+        assert_eq!(it.next(), None);
+        assert!(it.is_exhausted());
+    }
+
+    #[test]
+    fn unsat_yields_nothing() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([]);
+        let p = AllSatProblem::new(cnf, vec![Var::new(0)]);
+        let mut it = CubeIter::new(&p);
+        assert_eq!(it.next(), None);
+        assert!(it.is_exhausted());
+    }
+
+    #[test]
+    fn fused_after_exhaustion() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_unit(lit(0, true));
+        let p = AllSatProblem::new(cnf, vec![Var::new(0)]);
+        let mut it = CubeIter::new(&p);
+        assert!(it.next().is_some());
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn yielded_cubes_never_repeat_solutions() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(77);
+        for round in 0..15 {
+            let n = 6;
+            let mut cnf = Cnf::new(n);
+            for _ in 0..8 {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect();
+                cnf.add_clause(c);
+            }
+            let important: Vec<Var> = Var::range(4).collect();
+            let p = AllSatProblem::new(cnf.clone(), important.clone());
+            let mut seen = CubeSet::new();
+            let mut running = CubeSet::new();
+            for cube in CubeIter::new(&p) {
+                // Each new cube must contain at least one minterm not yet
+                // covered (otherwise the solver revisited blocked space).
+                let fresh = cube
+                    .expand_minterms(&important)
+                    .into_iter()
+                    .any(|m| !running.contains_minterm(&m.to_assignment(4)));
+                assert!(fresh, "round {round}: repeated cube {cube}");
+                running.insert(cube.clone());
+                seen.insert(cube);
+            }
+            let expect = truth_table::project_models_set(&cnf, &important);
+            assert!(seen.semantically_eq(&expect, &important), "round {round}");
+        }
+    }
+}

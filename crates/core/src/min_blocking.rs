@@ -1,0 +1,151 @@
+//! Blocking-clause enumeration with cube minimization (literal lifting).
+
+use presat_logic::CubeSet;
+use presat_sat::{SolveResult, Solver};
+
+use crate::engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
+use crate::lift::lift_cube;
+
+/// All-solutions enumeration with *lifted* blocking clauses: each model's
+/// projected cube is first enlarged by dropping irrelevant literals
+/// ([`lift_cube`]), and the blocking clause excludes the whole enlarged
+/// cube — `2^(n-k)` minterms at a stroke.
+///
+/// This is the stronger classical baseline (McMillan-style cube
+/// enlargement); it collapses the minterm explosion wherever single cubes
+/// cover large subspaces, but still re-explores *shared* structure that is
+/// not axis-aligned, which is exactly the gap the success-driven engine
+/// closes.
+///
+/// # Examples
+///
+/// ```
+/// use presat_allsat::{AllSatEngine, AllSatProblem, MinimizedBlockingAllSat};
+/// use presat_logic::{Cnf, Lit, Var};
+///
+/// // x0 forced; x1, x2 free: one lifted cube instead of four minterms.
+/// let mut cnf = Cnf::new(3);
+/// cnf.add_clause([Lit::pos(Var::new(0))]);
+/// let problem = AllSatProblem::new(cnf, (0..3).map(Var::new).collect());
+/// let result = MinimizedBlockingAllSat::default().enumerate(&problem);
+/// assert_eq!(result.stats.blocking_clauses, 1);
+/// assert_eq!(result.minterm_count(3), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinimizedBlockingAllSat;
+
+impl MinimizedBlockingAllSat {
+    /// Creates the engine (stateless).
+    pub fn new() -> Self {
+        MinimizedBlockingAllSat
+    }
+}
+
+impl AllSatEngine for MinimizedBlockingAllSat {
+    fn name(&self) -> &'static str {
+        "min-blocking"
+    }
+
+    fn enumerate(&self, problem: &AllSatProblem) -> AllSatResult {
+        let mut solver = Solver::from_cnf(&problem.cnf);
+        let mut stats = EnumerationStats::default();
+        let mut cubes = CubeSet::new();
+        loop {
+            stats.solver_calls += 1;
+            match solver.solve() {
+                SolveResult::Unsat => break,
+                SolveResult::Sat(model) => {
+                    let minterm_len = problem.important.len() as u64;
+                    let cube = lift_cube(&problem.cnf, &model, &problem.important);
+                    stats.cubes_emitted += 1;
+                    stats.literals_before_lift += minterm_len;
+                    stats.literals_after_lift += cube.len() as u64;
+                    let blocked = solver.add_clause(cube.lits().iter().map(|&l| !l));
+                    stats.blocking_clauses += 1;
+                    cubes.insert(cube);
+                    if !blocked {
+                        break;
+                    }
+                }
+            }
+        }
+        stats.sat_conflicts = solver.stats().conflicts;
+        stats.sat_decisions = solver.stats().decisions;
+        AllSatResult {
+            cubes,
+            graph: None,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presat_logic::{truth_table, Cnf, Lit, Var};
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::with_phase(Var::new(v), pos)
+    }
+
+    #[test]
+    fn lifting_reduces_clause_count() {
+        // x0 forced, x1..x4 free: naive blocking needs 16 clauses, lifted
+        // needs 1.
+        let mut cnf = Cnf::new(5);
+        cnf.add_unit(lit(0, true));
+        let p = AllSatProblem::new(cnf, (0..5).map(Var::new).collect());
+        let r = MinimizedBlockingAllSat::new().enumerate(&p);
+        assert_eq!(r.stats.blocking_clauses, 1);
+        assert_eq!(r.minterm_count(5), 16);
+    }
+
+    #[test]
+    fn matches_naive_engine_semantics() {
+        use crate::blocking::BlockingAllSat;
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(33);
+        for round in 0..25 {
+            let n = 6;
+            let mut cnf = Cnf::new(n);
+            for _ in 0..9 {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect();
+                cnf.add_clause(c);
+            }
+            let important: Vec<Var> = Var::range(4).collect();
+            let p = AllSatProblem::new(cnf, important.clone());
+            let naive = BlockingAllSat::new().enumerate(&p);
+            let lifted = MinimizedBlockingAllSat::new().enumerate(&p);
+            assert!(
+                naive.cubes.semantically_eq(&lifted.cubes, &important),
+                "divergence on round {round}"
+            );
+            assert!(lifted.stats.blocking_clauses <= naive.stats.blocking_clauses);
+            assert!(lifted.stats.literals_after_lift <= lifted.stats.literals_before_lift);
+        }
+    }
+
+    #[test]
+    fn oracle_equivalence_with_hidden_variables() {
+        let mut cnf = Cnf::new(4);
+        // hidden x3 couples x0 and x1: (x0 ∨ x3)(¬x3 ∨ x1)
+        cnf.add_clause([lit(0, true), lit(3, true)]);
+        cnf.add_clause([lit(3, false), lit(1, true)]);
+        let important: Vec<Var> = Var::range(3).collect();
+        let p = AllSatProblem::new(cnf.clone(), important.clone());
+        let r = MinimizedBlockingAllSat::new().enumerate(&p);
+        let expect = truth_table::project_models_set(&cnf, &important);
+        assert!(r.cubes.semantically_eq(&expect, &important));
+    }
+
+    #[test]
+    fn unsat_yields_empty() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([]);
+        let p = AllSatProblem::new(cnf, vec![Var::new(0)]);
+        let r = MinimizedBlockingAllSat::new().enumerate(&p);
+        assert!(r.cubes.is_empty());
+    }
+}

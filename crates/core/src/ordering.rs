@@ -1,0 +1,164 @@
+//! Branching-order heuristics for the important variables.
+//!
+//! The success-driven solver branches on the important variables in the
+//! order the problem lists them; that order is also the level order of the
+//! resulting [`crate::SolutionGraph`], so — exactly as with BDDs — a bad
+//! order can blow the graph up while a good one keeps it linear. These
+//! helpers compute orders from the CNF's structure; the enumerated *set*
+//! is order-independent (asserted by tests), only cost varies.
+
+use presat_logic::{Cnf, Var};
+
+/// A branching-order heuristic for [`order_important`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BranchOrder {
+    /// Keep the caller's order (for circuits: latch order).
+    #[default]
+    Natural,
+    /// The caller's order, reversed.
+    Reversed,
+    /// Most-occurring variables first (branch on the most constrained
+    /// variables early, so conflicts prune high in the tree).
+    OccurrenceDescending,
+    /// Least-occurring variables first (the adversarial dual, useful as an
+    /// ablation worst case).
+    OccurrenceAscending,
+    /// Deterministic pseudo-random shuffle of the caller's order.
+    Shuffled(u64),
+}
+
+/// Reorders `important` according to the heuristic, relative to `cnf`.
+///
+/// # Examples
+///
+/// ```
+/// use presat_allsat::{order_important, BranchOrder};
+/// use presat_logic::{Cnf, Lit, Var};
+///
+/// let mut cnf = Cnf::new(3);
+/// cnf.add_clause([Lit::pos(Var::new(2)), Lit::pos(Var::new(1))]);
+/// cnf.add_clause([Lit::neg(Var::new(2))]);
+/// let important: Vec<Var> = (0..3).map(Var::new).collect();
+/// let ordered = order_important(&cnf, &important, BranchOrder::OccurrenceDescending);
+/// assert_eq!(ordered[0], Var::new(2)); // occurs twice
+/// ```
+pub fn order_important(cnf: &Cnf, important: &[Var], order: BranchOrder) -> Vec<Var> {
+    match order {
+        BranchOrder::Natural => important.to_vec(),
+        BranchOrder::Reversed => important.iter().rev().copied().collect(),
+        BranchOrder::OccurrenceDescending | BranchOrder::OccurrenceAscending => {
+            let mut counts = vec![0usize; cnf.num_vars()];
+            for clause in cnf.clauses() {
+                for &l in clause {
+                    counts[l.var().index()] += 1;
+                }
+            }
+            let mut v = important.to_vec();
+            // Stable sort keeps the natural order among ties.
+            v.sort_by_key(|var| counts[var.index()]);
+            if order == BranchOrder::OccurrenceDescending {
+                v.reverse();
+            }
+            v
+        }
+        BranchOrder::Shuffled(seed) => {
+            // Fisher–Yates with a splitmix64 stream: deterministic and
+            // dependency-free.
+            let mut v = important.to_vec();
+            let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+            let mut next = move || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            for i in (1..v.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                v.swap(i, j);
+            }
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllSatEngine, AllSatProblem, SuccessDrivenAllSat};
+    use presat_logic::{truth_table, Lit};
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::with_phase(Var::new(v), pos)
+    }
+
+    #[test]
+    fn natural_and_reversed() {
+        let cnf = Cnf::new(3);
+        let vars: Vec<Var> = Var::range(3).collect();
+        assert_eq!(order_important(&cnf, &vars, BranchOrder::Natural), vars);
+        assert_eq!(
+            order_important(&cnf, &vars, BranchOrder::Reversed),
+            vec![Var::new(2), Var::new(1), Var::new(0)]
+        );
+    }
+
+    #[test]
+    fn occurrence_orders_are_duals() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(1, true), lit(2, true)]);
+        cnf.add_clause([lit(1, false)]);
+        let vars: Vec<Var> = Var::range(3).collect();
+        let desc = order_important(&cnf, &vars, BranchOrder::OccurrenceDescending);
+        let asc = order_important(&cnf, &vars, BranchOrder::OccurrenceAscending);
+        assert_eq!(desc[0], Var::new(1));
+        assert_eq!(asc[0], Var::new(0));
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_a_permutation() {
+        let cnf = Cnf::new(8);
+        let vars: Vec<Var> = Var::range(8).collect();
+        let a = order_important(&cnf, &vars, BranchOrder::Shuffled(42));
+        let b = order_important(&cnf, &vars, BranchOrder::Shuffled(42));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(sorted, vars);
+        let c = order_important(&cnf, &vars, BranchOrder::Shuffled(43));
+        assert_ne!(a, c, "different seeds should differ on 8 elements");
+    }
+
+    #[test]
+    fn enumeration_is_order_independent() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(9);
+        for round in 0..10 {
+            let n = 6;
+            let mut cnf = Cnf::new(n);
+            for _ in 0..9 {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect();
+                cnf.add_clause(c);
+            }
+            let important: Vec<Var> = Var::range(4).collect();
+            let expect = truth_table::project_models_set(&cnf, &important);
+            for order in [
+                BranchOrder::Natural,
+                BranchOrder::Reversed,
+                BranchOrder::OccurrenceDescending,
+                BranchOrder::OccurrenceAscending,
+                BranchOrder::Shuffled(round),
+            ] {
+                let ordered = order_important(&cnf, &important, order);
+                let p = AllSatProblem::new(cnf.clone(), ordered);
+                let r = SuccessDrivenAllSat::new().enumerate(&p);
+                assert!(
+                    r.cubes.semantically_eq(&expect, &important),
+                    "round {round}, {order:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Sound subspace signatures for success-driven learning.
+//!
+//! Two branching prefixes lead to the *same* set of suffix solutions
+//! whenever they agree on the variables that can still influence the
+//! suffix. This module computes, once per problem, the *relevant prefix
+//! positions* for every branching depth: a prefix position `p < d` is
+//! relevant at depth `d` iff its variable is connected to some suffix
+//! variable (position `≥ d`) in the CNF's variable co-occurrence graph via
+//! a path whose intermediate vertices are all non-important (auxiliary)
+//! variables.
+//!
+//! Soundness sketch: fix a prefix assignment. The CNF decomposes into
+//! connected components; the suffix solution set is determined by the
+//! components containing suffix variables, which touch exactly the relevant
+//! prefix variables (a prefix variable inside such a component is, by
+//! definition, connected through auxiliary vertices). Components not
+//! containing suffix variables only decide global satisfiability, which the
+//! success-driven engine re-checks with a dedicated solver call *before*
+//! consulting the cache. Agreement on relevant values therefore implies
+//! identical cached subgraphs. The signature is conservative (it is
+//! computed on the unreduced formula, a superset of the reduced-formula
+//! connectivity), so over-distinguishing — never unsoundness — is the
+//! failure mode.
+
+use presat_logic::{Cnf, Var};
+
+/// Precomputed relevant-prefix index for a problem.
+#[derive(Clone, Debug)]
+pub struct ConnectivityIndex {
+    /// `relevant[d]` = sorted prefix positions (`< d`) relevant for the
+    /// suffix starting at depth `d`, for `d` in `0..=k`.
+    relevant: Vec<Vec<u32>>,
+}
+
+/// A cache key: the depth plus the values of the relevant prefix positions.
+pub(crate) type Signature = (u32, Vec<bool>);
+
+impl ConnectivityIndex {
+    /// Builds the index for `cnf` with branching order `important`.
+    pub fn build(cnf: &Cnf, important: &[Var]) -> Self {
+        let num_vars = cnf.num_vars();
+        let k = important.len();
+
+        // position_of[v] = Some(branching position) for important vars.
+        let mut position_of: Vec<Option<u32>> = vec![None; num_vars];
+        for (i, &v) in important.iter().enumerate() {
+            position_of[v.index()] = Some(i as u32);
+        }
+
+        // Var ↔ clause incidence.
+        let mut clauses_of_var: Vec<Vec<u32>> = vec![Vec::new(); num_vars];
+        for (ci, clause) in cnf.clauses().iter().enumerate() {
+            for &l in clause {
+                clauses_of_var[l.var().index()].push(ci as u32);
+            }
+        }
+
+        let mut relevant: Vec<Vec<u32>> = Vec::with_capacity(k + 1);
+        // Depth d: BFS from suffix vars (positions ≥ d); expand through
+        // auxiliary and suffix variables; record prefix positions.
+        for d in 0..=k {
+            let mut var_seen = vec![false; num_vars];
+            let mut clause_seen = vec![false; cnf.num_clauses()];
+            let mut frontier: Vec<usize> = important[d..]
+                .iter()
+                .map(|v| v.index())
+                .collect();
+            for &v in &frontier {
+                var_seen[v] = true;
+            }
+            let mut found: Vec<u32> = Vec::new();
+            while let Some(v) = frontier.pop() {
+                for &ci in &clauses_of_var[v] {
+                    if clause_seen[ci as usize] {
+                        continue;
+                    }
+                    clause_seen[ci as usize] = true;
+                    for &l in &cnf.clauses()[ci as usize] {
+                        let w = l.var().index();
+                        if var_seen[w] {
+                            continue;
+                        }
+                        var_seen[w] = true;
+                        match position_of[w] {
+                            Some(p) if (p as usize) < d => found.push(p),
+                            // Suffix or auxiliary variable: keep expanding.
+                            _ => frontier.push(w),
+                        }
+                    }
+                }
+            }
+            found.sort_unstable();
+            relevant.push(found);
+        }
+        ConnectivityIndex { relevant }
+    }
+
+    /// The relevant prefix positions at `depth`.
+    pub fn relevant_at(&self, depth: usize) -> &[u32] {
+        &self.relevant[depth]
+    }
+
+    /// Builds the cache key for a prefix: `prefix_values[p]` is the value
+    /// assigned to branching position `p` (`p < depth`).
+    pub(crate) fn signature(&self, depth: usize, prefix_values: &[bool]) -> Signature {
+        debug_assert!(prefix_values.len() >= depth);
+        (
+            depth as u32,
+            self.relevant[depth]
+                .iter()
+                .map(|&p| prefix_values[p as usize])
+                .collect(),
+        )
+    }
+
+    /// Average number of relevant positions across depths — a compactness
+    /// diagnostic reported by the benchmark tables (smaller = more reuse).
+    pub fn mean_relevant(&self) -> f64 {
+        if self.relevant.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.relevant.iter().map(Vec::len).sum();
+        total as f64 / self.relevant.len() as f64
+    }
+}
+
+/// Dynamic (residual-cone) signature computation.
+///
+/// Where [`ConnectivityIndex`] inspects the *unreduced* formula, the
+/// residual signature looks at the formula **after unit propagation under
+/// the prefix**: clauses satisfied by the propagation are gone, falsified
+/// literals are deleted from the survivors, and the suffix subspace is
+/// characterized exactly by the *contents* of the surviving clauses
+/// reachable from the suffix variables. Two prefixes with identical residual
+/// cones have identical suffix solution sets, even when the prefixes
+/// themselves differ everywhere — e.g. all even-parity prefixes of a parity
+/// constraint share one cone.
+///
+/// The signature is exact (clauses are compared by surviving literal
+/// content, not hashed), so reuse is never unsound.
+#[derive(Clone, Debug)]
+pub struct ResidualIndex {
+    /// Var index → clause indices containing it.
+    clauses_of_var: Vec<Vec<u32>>,
+}
+
+/// The exact residual-cone key: the sorted, deduplicated list of surviving
+/// clauses in the suffix component, each as its sorted surviving literal
+/// codes.
+pub(crate) type ResidualSignature = Vec<Vec<u32>>;
+
+impl ResidualIndex {
+    /// Builds the incidence index for `cnf`.
+    pub fn build(cnf: &Cnf) -> Self {
+        let mut clauses_of_var: Vec<Vec<u32>> = vec![Vec::new(); cnf.num_vars()];
+        for (ci, clause) in cnf.clauses().iter().enumerate() {
+            for &l in clause {
+                clauses_of_var[l.var().index()].push(ci as u32);
+            }
+        }
+        ResidualIndex { clauses_of_var }
+    }
+
+    /// Computes the residual signature of the suffix starting at the given
+    /// variables, under the propagated partial assignment `alpha`.
+    ///
+    /// `alpha` must assign every prefix variable (it is the result of unit
+    /// propagation under the prefix); suffix variables must be unassigned
+    /// in it.
+    pub(crate) fn signature(
+        &self,
+        cnf: &Cnf,
+        alpha: &presat_logic::Assignment,
+        suffix: &[Var],
+    ) -> ResidualSignature {
+        let mut clause_seen = vec![false; cnf.num_clauses()];
+        let mut var_seen = vec![false; cnf.num_vars()];
+        let mut frontier: Vec<usize> = Vec::new();
+        for &v in suffix {
+            if alpha.value(v).is_none() && !var_seen[v.index()] {
+                var_seen[v.index()] = true;
+                frontier.push(v.index());
+            }
+        }
+        let mut residuals: Vec<Vec<u32>> = Vec::new();
+        while let Some(v) = frontier.pop() {
+            for &ci in &self.clauses_of_var[v] {
+                if clause_seen[ci as usize] {
+                    continue;
+                }
+                clause_seen[ci as usize] = true;
+                let clause = &cnf.clauses()[ci as usize];
+                let mut satisfied = false;
+                let mut surviving: Vec<u32> = Vec::with_capacity(clause.len());
+                for &l in clause {
+                    match alpha.lit_value(l) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => surviving.push(l.code() as u32),
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                for &code in &surviving {
+                    let w = (code >> 1) as usize;
+                    if !var_seen[w] {
+                        var_seen[w] = true;
+                        frontier.push(w);
+                    }
+                }
+                surviving.sort_unstable();
+                surviving.dedup();
+                residuals.push(surviving);
+            }
+        }
+        residuals.sort_unstable();
+        residuals.dedup();
+        residuals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presat_logic::Lit;
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::with_phase(Var::new(v), pos)
+    }
+
+    #[test]
+    fn independent_variables_have_empty_relevance() {
+        // Two unrelated unit clauses on x0 and x1.
+        let mut cnf = Cnf::new(2);
+        cnf.add_unit(lit(0, true));
+        cnf.add_unit(lit(1, true));
+        let idx = ConnectivityIndex::build(&cnf, &[Var::new(0), Var::new(1)]);
+        assert!(idx.relevant_at(0).is_empty());
+        assert!(idx.relevant_at(1).is_empty(), "x0 does not touch x1");
+        assert!(idx.relevant_at(2).is_empty());
+    }
+
+    #[test]
+    fn direct_clause_link_is_relevant() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        let idx = ConnectivityIndex::build(&cnf, &[Var::new(0), Var::new(1)]);
+        assert_eq!(idx.relevant_at(1), &[0]);
+    }
+
+    #[test]
+    fn link_through_auxiliary_is_relevant() {
+        // x0 — aux(x2) — x1
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(0, true), lit(2, true)]);
+        cnf.add_clause([lit(2, false), lit(1, true)]);
+        let idx = ConnectivityIndex::build(&cnf, &[Var::new(0), Var::new(1)]);
+        assert_eq!(idx.relevant_at(1), &[0]);
+    }
+
+    #[test]
+    fn link_blocked_by_important_variable_is_not_relevant() {
+        // Chain x0 — x1 — x2 over important {x0, x1, x2}: at depth 2
+        // (suffix {x2}), x1 is adjacent (relevant) but x0 is only reachable
+        // through the important vertex x1, hence irrelevant.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        cnf.add_clause([lit(1, false), lit(2, true)]);
+        let idx =
+            ConnectivityIndex::build(&cnf, &[Var::new(0), Var::new(1), Var::new(2)]);
+        assert_eq!(idx.relevant_at(2), &[1]);
+    }
+
+    #[test]
+    fn signature_filters_prefix_values() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(1, true), lit(2, true)]);
+        let idx =
+            ConnectivityIndex::build(&cnf, &[Var::new(0), Var::new(1), Var::new(2)]);
+        // At depth 2, only position 1 matters.
+        let s1 = idx.signature(2, &[true, false]);
+        let s2 = idx.signature(2, &[false, false]);
+        assert_eq!(s1, s2, "x0's value must not distinguish signatures");
+        let s3 = idx.signature(2, &[true, true]);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn residual_signature_merges_equivalent_prefixes() {
+        use presat_logic::Assignment;
+        // Parity over 3 vars, direct encoding: prefixes 00 and 11 (even
+        // parity) must share a signature at depth 2; 01/10 share the other.
+        let n = 3;
+        let mut cnf = Cnf::new(n);
+        for bits in 0..8u32 {
+            if bits.count_ones() % 2 == 0 {
+                cnf.add_clause((0..n).map(|i| lit(i, bits >> i & 1 == 0)));
+            }
+        }
+        let idx = ResidualIndex::build(&cnf);
+        let suffix = [Var::new(2)];
+        let sig = |b0: bool, b1: bool| {
+            let mut a = Assignment::new(n);
+            a.assign(Var::new(0), b0);
+            a.assign(Var::new(1), b1);
+            idx.signature(&cnf, &a, &suffix)
+        };
+        assert_eq!(sig(false, false), sig(true, true));
+        assert_eq!(sig(false, true), sig(true, false));
+        assert_ne!(sig(false, false), sig(false, true));
+    }
+
+    #[test]
+    fn residual_signature_drops_satisfied_clauses() {
+        use presat_logic::Assignment;
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        let idx = ResidualIndex::build(&cnf);
+        let mut a = Assignment::new(2);
+        a.assign(Var::new(0), true); // clause satisfied → empty residual
+        assert!(idx.signature(&cnf, &a, &[Var::new(1)]).is_empty());
+        a.assign(Var::new(0), false); // clause shrinks to (x1)
+        let s = idx.signature(&cnf, &a, &[Var::new(1)]);
+        assert_eq!(s, vec![vec![Lit::pos(Var::new(1)).code() as u32]]);
+    }
+
+    #[test]
+    fn residual_signature_reaches_through_aux() {
+        use presat_logic::Assignment;
+        // suffix x1 — aux x2 — clause with prefix x0 falsified literal.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(1, true), lit(2, true)]);
+        cnf.add_clause([lit(2, false), lit(0, true)]);
+        let idx = ResidualIndex::build(&cnf);
+        let mut a = Assignment::new(3);
+        a.assign(Var::new(0), false);
+        let s = idx.signature(&cnf, &a, &[Var::new(1)]);
+        // Both clauses survive: (x1 ∨ x2) and (¬x2) [x0 literal removed].
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn mean_relevant_reports_average() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        let idx = ConnectivityIndex::build(&cnf, &[Var::new(0), Var::new(1)]);
+        // relevants: d0: [], d1: [0], d2: [] → mean 1/3
+        assert!((idx.mean_relevant() - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,392 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Assignment, Cube, Var};
+
+/// A set of [`Cube`]s interpreted as their union: a disjunction of product
+/// terms (sum-of-products / DNF), the standard explicit representation of a
+/// state set.
+///
+/// Insertion maintains *absorption*: a cube subsumed by an existing cube is
+/// not added, and adding a cube removes every cube it subsumes. The set is
+/// therefore irredundant with respect to single-cube containment (though not
+/// necessarily a minimum cover).
+///
+/// # Examples
+///
+/// ```
+/// use presat_logic::{Cube, CubeSet, Lit, Var};
+/// let mut s = CubeSet::new();
+/// let a = Var::new(0);
+/// let b = Var::new(1);
+/// s.insert(Cube::from_lits([Lit::pos(a), Lit::pos(b)])?);
+/// s.insert(Cube::unit(Lit::pos(a)));       // absorbs the first cube
+/// assert_eq!(s.len(), 1);
+/// assert_eq!(s.minterm_count(2), 2);       // {10, 11}
+/// # Ok::<(), presat_logic::CubeFromLitsError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct CubeSet {
+    cubes: Vec<Cube>,
+}
+
+impl CubeSet {
+    /// The empty set (constant false).
+    pub fn new() -> Self {
+        CubeSet::default()
+    }
+
+    /// The universal set (a single empty cube: constant true).
+    pub fn universe() -> Self {
+        CubeSet {
+            cubes: vec![Cube::top()],
+        }
+    }
+
+    /// `true` if no cube is present (the set denotes ∅).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// `true` if the set contains the empty cube (and hence denotes the
+    /// universe).
+    pub fn is_universe(&self) -> bool {
+        self.cubes.iter().any(Cube::is_empty)
+    }
+
+    /// Number of cubes (not minterms).
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// The cubes, in insertion-dependent order.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Iterates over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+
+    /// Inserts a cube with absorption. Returns `true` if the set changed.
+    pub fn insert(&mut self, cube: Cube) -> bool {
+        if self.cubes.iter().any(|c| c.subsumes(&cube)) {
+            return false;
+        }
+        self.cubes.retain(|c| !cube.subsumes(c));
+        self.cubes.push(cube);
+        true
+    }
+
+    /// Set union (with absorption).
+    pub fn union(&self, other: &CubeSet) -> CubeSet {
+        let mut out = self.clone();
+        for c in &other.cubes {
+            out.insert(c.clone());
+        }
+        out
+    }
+
+    /// Set intersection: pairwise cube conjunction, dropping conflicts.
+    pub fn intersection(&self, other: &CubeSet) -> CubeSet {
+        let mut out = CubeSet::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                if let Some(c) = a.intersect(b) {
+                    out.insert(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if the (possibly partial) assignment satisfies some cube.
+    pub fn contains_minterm(&self, a: &Assignment) -> bool {
+        self.cubes.iter().any(|c| c.contains_minterm(a))
+    }
+
+    /// `true` if `cube` is entirely contained in this set's union.
+    ///
+    /// Decided by recursive Shannon splitting, so it is exact even when no
+    /// single cube subsumes `cube`. Exponential in the worst case; intended
+    /// for the moderate variable counts of test oracles.
+    pub fn covers_cube(&self, cube: &Cube, vars: &[Var]) -> bool {
+        // Quick wins first.
+        if self.cubes.iter().any(|c| c.subsumes(cube)) {
+            return true;
+        }
+        let relevant: Vec<&Cube> = self.cubes.iter().filter(|c| c.intersects(cube)).collect();
+        if relevant.is_empty() {
+            return false;
+        }
+        cover_rec(&relevant, cube, vars)
+    }
+
+    /// Exact number of minterms over the universe `num_vars` (variables
+    /// `x0..x(num_vars-1)`) covered by the union of the cubes.
+    ///
+    /// Computed by recursive Shannon expansion with cofactoring — worst-case
+    /// exponential in `num_vars` but with aggressive short-circuiting
+    /// (absorbed branches, universe detection), which is ample for the state
+    /// spaces exercised in this workspace (≤ ~30 variables).
+    pub fn minterm_count(&self, num_vars: usize) -> u128 {
+        let refs: Vec<&Cube> = self.cubes.iter().collect();
+        count_rec(&refs, 0, num_vars)
+    }
+
+    /// All minterms as total cubes over `vars`, sorted; for test oracles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` has more than 24 variables (oracle-scale guard).
+    pub fn enumerate_minterms(&self, vars: &[Var]) -> BTreeSet<Cube> {
+        assert!(vars.len() <= 24, "minterm enumeration is oracle-scale only");
+        let mut out = BTreeSet::new();
+        for c in &self.cubes {
+            for m in c.expand_minterms(vars) {
+                out.insert(m);
+            }
+        }
+        out
+    }
+
+    /// `true` if both sets denote the same Boolean function over `vars`.
+    pub fn semantically_eq(&self, other: &CubeSet, vars: &[Var]) -> bool {
+        self.enumerate_minterms(vars) == other.enumerate_minterms(vars)
+    }
+}
+
+/// Is `cube` covered by the union of `cover`? Recursive Shannon split on the
+/// first universe variable on which some cover cube disagrees with `cube`.
+fn cover_rec(cover: &[&Cube], cube: &Cube, vars: &[Var]) -> bool {
+    if cover.iter().any(|c| c.subsumes(cube)) {
+        return true;
+    }
+    // Find a splitting variable: one mentioned by some cover cube but not by
+    // `cube`.
+    let split = vars
+        .iter()
+        .copied()
+        .find(|&v| !cube.mentions(v) && cover.iter().any(|c| c.mentions(v)));
+    let Some(v) = split else {
+        // No cover cube constrains anything beyond `cube`, and none subsumes
+        // it — so not covered.
+        return false;
+    };
+    for phase in [false, true] {
+        let lit = crate::Lit::with_phase(v, phase);
+        let sub = cube
+            .intersect(&Cube::unit(lit))
+            .expect("split variable is unmentioned in cube");
+        let reduced: Vec<&Cube> = cover
+            .iter()
+            .copied()
+            .filter(|c| c.intersects(&sub))
+            .collect();
+        if reduced.is_empty() || !cover_rec(&reduced, &sub, vars) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Minterm count of the union of `cubes` over variables `next..num_vars`.
+fn count_rec(cubes: &[&Cube], next: usize, num_vars: usize) -> u128 {
+    if cubes.is_empty() {
+        return 0;
+    }
+    if cubes.iter().any(|c| c.is_empty()) {
+        // The ⊤ cube covers everything remaining... but careful: cubes may
+        // still mention variables below `next` only if the caller already
+        // cofactored them away. An empty cube means all remaining free.
+        return 1u128 << (num_vars - next);
+    }
+    if next >= num_vars {
+        // All variables decided; any surviving (non-conflicting) cube covers
+        // this single point.
+        return 1;
+    }
+    let v = Var::new(next);
+    let mut total = 0u128;
+    for phase in [false, true] {
+        let lit = crate::Lit::with_phase(v, phase);
+        let cof: Vec<Cube> = cubes.iter().filter_map(|c| c.cofactor(lit)).collect();
+        let refs: Vec<&Cube> = cof.iter().collect();
+        total += count_rec(&refs, next + 1, num_vars);
+    }
+    total
+}
+
+impl FromIterator<Cube> for CubeSet {
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        let mut s = CubeSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl Extend<Cube> for CubeSet {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a CubeSet {
+    type Item = &'a Cube;
+    type IntoIter = std::slice::Iter<'a, Cube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+impl IntoIterator for CubeSet {
+    type Item = Cube;
+    type IntoIter = std::vec::IntoIter<Cube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.into_iter()
+    }
+}
+
+impl fmt::Debug for CubeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CubeSet{{")?;
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for CubeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "({c})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_lits(lits.iter().map(|&(v, p)| Lit::with_phase(Var::new(v), p))).unwrap()
+    }
+
+    #[test]
+    fn empty_set_is_false() {
+        let s = CubeSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.minterm_count(5), 0);
+    }
+
+    #[test]
+    fn universe_counts_all() {
+        let s = CubeSet::universe();
+        assert!(s.is_universe());
+        assert_eq!(s.minterm_count(4), 16);
+    }
+
+    #[test]
+    fn insert_absorbs_subsumed() {
+        let mut s = CubeSet::new();
+        assert!(s.insert(cube(&[(0, true), (1, true)])));
+        assert!(s.insert(cube(&[(0, true)]))); // wider cube absorbs
+        assert_eq!(s.len(), 1);
+        // narrower cube is now a no-op
+        assert!(!s.insert(cube(&[(0, true), (1, false)])));
+    }
+
+    #[test]
+    fn minterm_count_handles_overlap() {
+        let mut s = CubeSet::new();
+        s.insert(cube(&[(0, true)])); // covers 10,11 over 2 vars → {01,11}? no: x0=1 → {1x}
+        s.insert(cube(&[(1, true)])); // x1=1
+        // union over 2 vars: x0 ∨ x1 → 3 minterms
+        assert_eq!(s.minterm_count(2), 3);
+    }
+
+    #[test]
+    fn minterm_count_matches_enumeration() {
+        let vars: Vec<Var> = Var::range(4).collect();
+        let mut s = CubeSet::new();
+        s.insert(cube(&[(0, true), (2, false)]));
+        s.insert(cube(&[(1, false)]));
+        s.insert(cube(&[(3, true), (0, false)]));
+        assert_eq!(s.minterm_count(4), s.enumerate_minterms(&vars).len() as u128);
+    }
+
+    #[test]
+    fn intersection_distributes() {
+        let mut a = CubeSet::new();
+        a.insert(cube(&[(0, true)]));
+        let mut b = CubeSet::new();
+        b.insert(cube(&[(0, false)]));
+        b.insert(cube(&[(1, true)]));
+        let i = a.intersection(&b);
+        // x0 ∧ (¬x0 ∨ x1) = x0 ∧ x1
+        assert_eq!(i.minterm_count(2), 1);
+    }
+
+    #[test]
+    fn covers_cube_multi_cube_cover() {
+        let vars: Vec<Var> = Var::range(2).collect();
+        let mut s = CubeSet::new();
+        s.insert(cube(&[(0, true)]));
+        s.insert(cube(&[(0, false)]));
+        // neither cube alone subsumes ⊤, but together they cover it
+        assert!(s.covers_cube(&Cube::top(), &vars));
+        let mut t = CubeSet::new();
+        t.insert(cube(&[(0, true)]));
+        assert!(!t.covers_cube(&Cube::top(), &vars));
+        assert!(t.covers_cube(&cube(&[(0, true), (1, false)]), &vars));
+    }
+
+    #[test]
+    fn union_and_semantic_equality() {
+        let vars: Vec<Var> = Var::range(3).collect();
+        let mut a = CubeSet::new();
+        a.insert(cube(&[(0, true)]));
+        let mut b = CubeSet::new();
+        b.insert(cube(&[(0, true), (1, true)]));
+        b.insert(cube(&[(0, true), (1, false)]));
+        assert!(a.semantically_eq(&b, &vars));
+        let u = a.union(&b);
+        assert!(u.semantically_eq(&a, &vars));
+    }
+
+    #[test]
+    fn from_iterator_collects_with_absorption() {
+        let s: CubeSet = vec![cube(&[(0, true), (1, true)]), cube(&[(0, true)])]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn contains_minterm_any_cube() {
+        let mut s = CubeSet::new();
+        s.insert(cube(&[(0, true)]));
+        s.insert(cube(&[(1, true)]));
+        assert!(s.contains_minterm(&Assignment::from_bits(0b10, 2)));
+        assert!(!s.contains_minterm(&Assignment::from_bits(0b00, 2)));
+    }
+}

@@ -1,0 +1,42 @@
+//! Boolean foundations for the `presat` workspace.
+//!
+//! This crate provides the vocabulary shared by every other `presat` crate:
+//! variables ([`Var`]) and literals ([`Lit`]), partial and total assignments
+//! ([`Assignment`]), cubes ([`Cube`]) and cube sets ([`CubeSet`]) for
+//! representing sets of states, CNF formulas ([`Cnf`]), DIMACS input/output
+//! ([`dimacs`]), and a brute-force truth-table oracle ([`truth_table`]) used
+//! throughout the test suites to validate the clever engines against an
+//! unarguably correct one.
+//!
+//! # Examples
+//!
+//! ```
+//! use presat_logic::{Cnf, Lit, Var};
+//!
+//! let a = Var::new(0);
+//! let b = Var::new(1);
+//! let mut cnf = Cnf::new(2);
+//! cnf.add_clause([Lit::pos(a), Lit::pos(b)]);   // a ∨ b
+//! cnf.add_clause([Lit::neg(a), Lit::neg(b)]);   // ¬a ∨ ¬b
+//! // exactly the two assignments where a ≠ b satisfy this formula
+//! assert_eq!(presat_logic::truth_table::count_models(&cnf), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod cnf;
+mod cube;
+mod cube_set;
+pub mod dimacs;
+mod lit;
+pub mod truth_table;
+mod var;
+
+pub use assignment::Assignment;
+pub use cnf::{Clause, Cnf};
+pub use cube::{Cube, CubeFromLitsError};
+pub use cube_set::CubeSet;
+pub use lit::Lit;
+pub use var::Var;

@@ -1,0 +1,152 @@
+//! Brute-force truth-table oracle.
+//!
+//! Everything in here is deliberately naive — `O(2^n)` enumeration over the
+//! full variable space — because its only job is to be *obviously correct*.
+//! The SAT solver, the all-solutions engines, and the BDD package are all
+//! validated against these functions on small instances in their test
+//! suites.
+
+use std::collections::BTreeSet;
+
+use crate::{Assignment, Cnf, Cube, CubeSet, Var};
+
+/// Hard cap on oracle variable counts, to protect tests from accidental
+/// exponential blow-ups.
+pub const MAX_ORACLE_VARS: usize = 26;
+
+fn check_width(n: usize) {
+    assert!(
+        n <= MAX_ORACLE_VARS,
+        "truth-table oracle limited to {MAX_ORACLE_VARS} variables, got {n}"
+    );
+}
+
+/// Enumerates every total assignment over `cnf.num_vars()` variables that
+/// satisfies the formula.
+///
+/// # Panics
+///
+/// Panics if the formula has more than [`MAX_ORACLE_VARS`] variables.
+pub fn enumerate_models(cnf: &Cnf) -> Vec<Assignment> {
+    let n = cnf.num_vars();
+    check_width(n);
+    let mut out = Vec::new();
+    for bits in 0..(1u64 << n) {
+        let a = Assignment::from_bits(bits, n);
+        if cnf.eval(&a) == Some(true) {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// Counts satisfying total assignments of `cnf`.
+///
+/// # Panics
+///
+/// Panics if the formula has more than [`MAX_ORACLE_VARS`] variables.
+pub fn count_models(cnf: &Cnf) -> u64 {
+    let n = cnf.num_vars();
+    check_width(n);
+    (0..(1u64 << n))
+        .filter(|&bits| cnf.eval(&Assignment::from_bits(bits, n)) == Some(true))
+        .count() as u64
+}
+
+/// `true` if `cnf` has at least one model (decided by enumeration).
+///
+/// # Panics
+///
+/// Panics if the formula has more than [`MAX_ORACLE_VARS`] variables.
+pub fn is_satisfiable(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars();
+    check_width(n);
+    (0..(1u64 << n)).any(|bits| cnf.eval(&Assignment::from_bits(bits, n)) == Some(true))
+}
+
+/// The exact projection of `cnf`'s models onto `vars`: the set of minterm
+/// cubes over `vars` for which *some* completion over the remaining
+/// variables satisfies `cnf`.
+///
+/// This is precisely the mathematical object the all-solutions engines
+/// compute (the preimage, when `vars` are the present-state variables), so it
+/// is the reference oracle for every enumeration engine.
+///
+/// # Panics
+///
+/// Panics if `cnf` has more than [`MAX_ORACLE_VARS`] variables.
+pub fn project_models(cnf: &Cnf, vars: &[Var]) -> BTreeSet<Cube> {
+    enumerate_models(cnf)
+        .iter()
+        .map(|a| a.project(vars))
+        .collect()
+}
+
+/// The projection of `cnf`'s models onto `vars` as a [`CubeSet`] of
+/// minterms.
+///
+/// # Panics
+///
+/// Panics if `cnf` has more than [`MAX_ORACLE_VARS`] variables.
+pub fn project_models_set(cnf: &Cnf, vars: &[Var]) -> CubeSet {
+    project_models(cnf, vars).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::with_phase(Var::new(v), pos)
+    }
+
+    #[test]
+    fn xor_has_two_models() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        cnf.add_clause([lit(0, false), lit(1, false)]);
+        assert_eq!(count_models(&cnf), 2);
+        assert!(is_satisfiable(&cnf));
+        let models = enumerate_models(&cnf);
+        assert_eq!(models.len(), 2);
+        for m in models {
+            assert!(m.is_total());
+            assert_ne!(m.value(Var::new(0)), m.value(Var::new(1)));
+        }
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([]);
+        assert!(!is_satisfiable(&cnf));
+        assert_eq!(count_models(&cnf), 0);
+    }
+
+    #[test]
+    fn projection_collapses_hidden_vars() {
+        // (x0 ∨ x1): projected on x0, both x0=0 (via x1=1) and x0=1 work.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        let proj = project_models(&cnf, &[Var::new(0)]);
+        assert_eq!(proj.len(), 2);
+    }
+
+    #[test]
+    fn projection_excludes_unreachable() {
+        // x0 must be true: projection on x0 is the single cube x0.
+        let mut cnf = Cnf::new(2);
+        cnf.add_unit(lit(0, true));
+        let proj = project_models_set(&cnf, &[Var::new(0)]);
+        assert_eq!(proj.len(), 1);
+        assert_eq!(proj.cubes()[0], Cube::unit(lit(0, true)));
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle limited")]
+    fn oracle_guard_trips() {
+        let cnf = Cnf::new(MAX_ORACLE_VARS + 1);
+        let _ = count_models(&cnf);
+    }
+}

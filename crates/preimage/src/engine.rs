@@ -1,0 +1,75 @@
+//! The common interface of preimage engines.
+
+use std::fmt;
+use std::time::Duration;
+
+use presat_circuit::Circuit;
+
+use crate::state_set::StateSet;
+
+/// Work and memory counters for one preimage computation, merging the
+/// SAT-side and BDD-side metrics into the columns the evaluation tables
+/// report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PreimageStats {
+    /// Cubes in the returned state set.
+    pub result_cubes: u64,
+    /// Calls into the CDCL solver (SAT engines).
+    pub solver_calls: u64,
+    /// Blocking clauses added (blocking-style SAT engines).
+    pub blocking_clauses: u64,
+    /// Solution-graph nodes (success-driven engine).
+    pub graph_nodes: u64,
+    /// Success-cache hits (success-driven engine).
+    pub cache_hits: u64,
+    /// Peak BDD manager node count (BDD engine).
+    pub bdd_nodes: u64,
+    /// CDCL conflicts (SAT engines).
+    pub sat_conflicts: u64,
+}
+
+impl fmt::Display for PreimageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cubes={} calls={} blocks={} graph={} hits={} bdd={}",
+            self.result_cubes,
+            self.solver_calls,
+            self.blocking_clauses,
+            self.graph_nodes,
+            self.cache_hits,
+            self.bdd_nodes
+        )
+    }
+}
+
+/// The outcome of one preimage computation.
+#[derive(Clone, Debug)]
+pub struct PreimageResult {
+    /// The preimage as cubes over latch positions.
+    pub states: StateSet,
+    /// Work counters.
+    pub stats: PreimageStats,
+    /// Wall-clock time of the computation.
+    pub elapsed: Duration,
+}
+
+/// A one-step preimage engine.
+pub trait PreimageEngine {
+    /// A short name for tables (`"sat-blocking"`, `"bdd-sub"`, …).
+    fn name(&self) -> String;
+
+    /// Computes `Pre(target)` for `circuit`.
+    fn preimage(&self, circuit: &Circuit, target: &StateSet) -> PreimageResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_display_is_compact() {
+        let s = PreimageStats::default();
+        assert!(s.to_string().contains("cubes=0"));
+    }
+}

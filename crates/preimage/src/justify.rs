@@ -1,0 +1,252 @@
+//! Witness extraction: turn a backward-reachability answer into a concrete
+//! input trace — the "justification sequence" of sequential ATPG and the
+//! counterexample of safety model checking.
+
+use presat_circuit::{sim, Circuit};
+use presat_logic::Lit;
+use presat_sat::{SolveResult, Solver};
+
+use crate::encoding::StepEncoding;
+use crate::engine::PreimageEngine;
+use crate::state_set::StateSet;
+
+/// One step of a justification trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The state before the step (latch bit `j` in bit `j`).
+    pub state: u64,
+    /// The primary-input assignment applied (input `i` in bit `i`).
+    pub inputs: u64,
+    /// The state after the step.
+    pub next_state: u64,
+}
+
+/// A concrete trace from an initial state into the target set.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// The steps, in order; empty if the initial state is already in the
+    /// target.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Number of clock cycles in the trace.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` for the zero-cycle trace.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Finds a shortest input trace driving `circuit` from `initial_state`
+/// into `target`, or `None` if the target is not reachable from there.
+///
+/// Strategy: compute the backward onion `R0 = target`,
+/// `R(k+1) = Rk ∪ Pre(Rk)` with the supplied engine until the initial
+/// state appears (distance = k); then walk forward: at each step, a single
+/// incremental SAT query — the step relation with the present state pinned
+/// and the next state constrained to the *previous* ring — yields an input
+/// vector, which simulation applies to obtain the successor. The forward
+/// walk therefore always makes progress toward the target and terminates
+/// in exactly `k` steps.
+///
+/// # Panics
+///
+/// Panics if `circuit` is structurally incomplete, or (debug builds) if
+/// the engine and the simulator disagree — which would indicate a bug in
+/// one of them, not bad input.
+///
+/// # Examples
+///
+/// ```
+/// use presat_circuit::generators;
+/// use presat_preimage::{justify, SatPreimage, StateSet};
+///
+/// let c = generators::counter(3, false);
+/// let trace = justify(
+///     &SatPreimage::success_driven(),
+///     &c,
+///     5,
+///     &StateSet::from_state_bits(7, 3),
+/// ).expect("counter reaches 7 from 5");
+/// assert_eq!(trace.len(), 2); // 5 → 6 → 7
+/// ```
+pub fn justify(
+    engine: &dyn PreimageEngine,
+    circuit: &Circuit,
+    initial_state: u64,
+    target: &StateSet,
+) -> Option<Trace> {
+    let n = circuit.num_latches();
+    let m = circuit.num_inputs();
+    if target.contains_bits(initial_state, n) {
+        return Some(Trace::default());
+    }
+
+    // Backward onion rings: rings[k] = states at distance ≤ k.
+    let mut rings: Vec<StateSet> = vec![target.clone()];
+    loop {
+        let last = rings.last().expect("nonempty");
+        if last.contains_bits(initial_state, n) {
+            break;
+        }
+        let pre = engine.preimage(circuit, last);
+        let grown = last.union(&pre.states);
+        // Fixed point without covering the initial state: unreachable.
+        let stalled = grown.semantically_eq(last, n.min(24)) && n <= 24;
+        if stalled {
+            return None;
+        }
+        // For n > 24 the semantic check is unavailable; detect stall by
+        // cube-set equality (sound but may loop on pathological engines
+        // that keep reshuffling cubes — ours are deterministic).
+        if n > 24 && grown.cubes() == last.cubes() {
+            return None;
+        }
+        rings.push(grown);
+        if rings.len() > (1usize << n.min(26)) {
+            unreachable!("onion cannot have more rings than states");
+        }
+    }
+
+    // Forward walk: from ring k, step into ring k-1.
+    let mut steps = Vec::new();
+    let mut state = initial_state;
+    for k in (0..rings.len() - 1).rev() {
+        let enc = StepEncoding::build(circuit, &rings[k]);
+        let mut solver = Solver::from_cnf(enc.cnf());
+        let assumptions: Vec<Lit> = enc
+            .state_vars()
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| Lit::with_phase(v, state >> j & 1 == 1))
+            .collect();
+        let model = match solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat(model) => model,
+            SolveResult::Unsat => {
+                // `state` is in ring k+1, so a transition into ring k must
+                // exist unless state was already deeper in the onion; fall
+                // through to the next (smaller) ring.
+                continue;
+            }
+        };
+        let inputs: u64 = enc
+            .input_vars()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| u64::from(model.value(v) == Some(true)) << i)
+            .sum();
+        let input_words: Vec<u64> = (0..m).map(|i| inputs >> i & 1).collect();
+        let state_words: Vec<u64> = (0..n).map(|j| state >> j & 1).collect();
+        let next = sim::next_state(circuit, &input_words, &state_words);
+        let next_state: u64 = next.iter().enumerate().map(|(j, w)| (w & 1) << j).sum();
+        debug_assert!(
+            rings[k].contains_bits(next_state, n),
+            "SAT step must land in the next ring"
+        );
+        steps.push(TraceStep {
+            state,
+            inputs,
+            next_state,
+        });
+        state = next_state;
+        if target.contains_bits(state, n) {
+            break;
+        }
+    }
+    debug_assert!(target.contains_bits(state, n), "walk must end in target");
+    Some(Trace { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use crate::sat_engine::SatPreimage;
+    use presat_circuit::generators;
+
+    fn verify_trace(circuit: &Circuit, initial: u64, target: &StateSet, trace: &Trace) {
+        let n = circuit.num_latches();
+        let m = circuit.num_inputs();
+        let mut state = initial;
+        for step in &trace.steps {
+            assert_eq!(step.state, state, "trace must be contiguous");
+            let input_words: Vec<u64> = (0..m).map(|i| step.inputs >> i & 1).collect();
+            let state_words: Vec<u64> = (0..n).map(|j| state >> j & 1).collect();
+            let next = sim::next_state(circuit, &input_words, &state_words);
+            let next_state: u64 = next.iter().enumerate().map(|(j, w)| (w & 1) << j).sum();
+            assert_eq!(next_state, step.next_state, "recorded step must simulate");
+            state = next_state;
+        }
+        assert!(target.contains_bits(state, n), "trace must end in target");
+    }
+
+    #[test]
+    fn counter_distance() {
+        let c = generators::counter(4, false);
+        let target = StateSet::from_state_bits(9, 4);
+        let trace = justify(&SatPreimage::success_driven(), &c, 3, &target).expect("reachable");
+        assert_eq!(trace.len(), 6); // 3 → … → 9
+        verify_trace(&c, 3, &target, &trace);
+    }
+
+    #[test]
+    fn zero_length_when_already_in_target() {
+        let c = generators::counter(3, false);
+        let target = StateSet::from_state_bits(5, 3);
+        let trace = justify(&SatPreimage::success_driven(), &c, 5, &target).expect("trivial");
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn shift_register_requires_right_inputs() {
+        let c = generators::shift_register(4);
+        let target = StateSet::from_state_bits(0b1111, 4);
+        let trace =
+            justify(&SatPreimage::success_driven(), &c, 0, &target).expect("reachable in 4");
+        verify_trace(&c, 0, &target, &trace);
+        assert_eq!(trace.len(), 4);
+        // The serial input must have been 1 on every cycle.
+        for step in &trace.steps {
+            assert_eq!(step.inputs & 1, 1);
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        // An LFSR's zero state is a fixed point disjoint from the nonzero
+        // cycle: from 0 only 0 is reachable.
+        let c = generators::lfsr(4);
+        let target = StateSet::from_state_bits(0b0110, 4);
+        assert!(justify(&SatPreimage::success_driven(), &c, 0, &target).is_none());
+    }
+
+    #[test]
+    fn traces_are_shortest_for_every_reachable_pair() {
+        let c = generators::lfsr(4);
+        let target_bits = 1u64;
+        let target = StateSet::from_state_bits(target_bits, 4);
+        let reach = oracle::backward_reachable_bits(&c, &target);
+        for s0 in 0..16u64 {
+            let got = justify(&SatPreimage::success_driven(), &c, s0, &target);
+            if reach.contains(&s0) {
+                let trace = got.expect("reachable");
+                verify_trace(&c, s0, &target, &trace);
+            } else {
+                assert!(got.is_none(), "state {s0:b} should be unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn s27_justification() {
+        let c = presat_circuit::embedded::s27().unwrap();
+        let target = StateSet::from_state_bits(0b110, 3);
+        let trace = justify(&SatPreimage::success_driven(), &c, 0, &target)
+            .expect("s27 reaches (0,1,1) from reset");
+        verify_trace(&c, 0, &target, &trace);
+    }
+}

@@ -1,0 +1,111 @@
+//! Exhaustive-simulation ground truth for small circuits.
+
+use std::collections::BTreeSet;
+
+use presat_circuit::{sim, Circuit};
+
+use crate::state_set::StateSet;
+
+/// The exact preimage of `target` as a set of state bit patterns, computed
+/// by enumerating every `(state, input)` pair and simulating one step.
+///
+/// # Panics
+///
+/// Panics if `num_inputs + num_latches > 24` (oracle-scale guard inherited
+/// from [`sim::enumerate_transitions`]).
+pub fn preimage_bits(circuit: &Circuit, target: &StateSet) -> BTreeSet<u64> {
+    let n = circuit.num_latches();
+    sim::enumerate_transitions(circuit)
+        .into_iter()
+        .filter(|&(_, _, next)| target.contains_bits(next, n))
+        .map(|(state, _, _)| state)
+        .collect()
+}
+
+/// The exact preimage as a [`StateSet`] of minterm cubes.
+///
+/// # Panics
+///
+/// See [`preimage_bits`].
+pub fn preimage(circuit: &Circuit, target: &StateSet) -> StateSet {
+    let n = circuit.num_latches();
+    preimage_bits(circuit, target)
+        .into_iter()
+        .fold(StateSet::empty(), |acc, bits| {
+            acc.union(&StateSet::from_state_bits(bits, n))
+        })
+}
+
+/// The exact backward-reachable set (states from which `target` is
+/// reachable in any number of steps, including zero).
+///
+/// # Panics
+///
+/// See [`preimage_bits`].
+pub fn backward_reachable_bits(circuit: &Circuit, target: &StateSet) -> BTreeSet<u64> {
+    let n = circuit.num_latches();
+    let transitions = sim::enumerate_transitions(circuit);
+    let mut reached: BTreeSet<u64> = (0..(1u64 << n))
+        .filter(|&b| target.contains_bits(b, n))
+        .collect();
+    loop {
+        let mut grew = false;
+        for &(state, _, next) in &transitions {
+            if reached.contains(&next) && reached.insert(state) {
+                grew = true;
+            }
+        }
+        if !grew {
+            return reached;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presat_circuit::generators;
+
+    #[test]
+    fn counter_preimage_is_predecessor() {
+        let c = generators::counter(4, false);
+        let pre = preimage_bits(&c, &StateSet::from_state_bits(9, 4));
+        assert_eq!(pre.into_iter().collect::<Vec<_>>(), vec![8]);
+    }
+
+    #[test]
+    fn counter_with_enable_has_two_predecessors() {
+        let c = generators::counter(4, true);
+        let pre = preimage_bits(&c, &StateSet::from_state_bits(9, 4));
+        // enable=1 from 8, enable=0 from 9 itself.
+        assert_eq!(pre.into_iter().collect::<Vec<_>>(), vec![8, 9]);
+    }
+
+    #[test]
+    fn preimage_state_set_matches_bits() {
+        let c = generators::shift_register(4);
+        let t = StateSet::from_partial(&[(3, true)]);
+        let set = preimage(&c, &t);
+        let bits = preimage_bits(&c, &t);
+        for b in 0..16u64 {
+            assert_eq!(set.contains_bits(b, 4), bits.contains(&b));
+        }
+    }
+
+    #[test]
+    fn backward_reachability_of_counter_target_is_everything() {
+        // A free-running counter visits every state, so everything reaches
+        // any target.
+        let c = generators::counter(3, false);
+        let r = backward_reachable_bits(&c, &StateSet::from_state_bits(0, 3));
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn backward_reachability_includes_target_itself() {
+        let c = generators::lfsr(4);
+        let t = StateSet::from_state_bits(1, 4);
+        let r = backward_reachable_bits(&c, &t);
+        assert!(r.contains(&1));
+    }
+}

@@ -1,0 +1,292 @@
+//! Backward reachability: iterate preimages to a fixed point.
+
+use std::time::{Duration, Instant};
+
+use presat_allsat::{SolutionGraph, SolutionNodeId};
+use presat_circuit::Circuit;
+use presat_logic::Var;
+
+use crate::engine::PreimageEngine;
+use crate::state_set::StateSet;
+
+/// Options for the reachability loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReachOptions {
+    /// Stop after this many iterations even if not converged
+    /// (`None` = run to the fixed point).
+    pub max_iterations: Option<usize>,
+    /// Enlarge each frontier within the already-reached don't-care space
+    /// ([`SolutionGraph::simplify`]) before handing it to the engine.
+    /// Sound (extra states are all backward-reachable) and often shrinks
+    /// the frontier's cube representation; the reached set stays exact.
+    pub simplify_frontier: bool,
+}
+
+/// One row of the per-iteration report (the series plotted in figure F3).
+#[derive(Clone, Debug)]
+pub struct ReachIteration {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Cubes in the frontier fed to the engine this iteration.
+    pub frontier_cubes: usize,
+    /// States newly discovered this iteration.
+    pub new_states: u128,
+    /// Cumulative backward-reachable states after this iteration.
+    pub reached_states: u128,
+    /// Wall-clock time of this iteration's preimage call.
+    pub elapsed: Duration,
+}
+
+/// The result of a backward-reachability run.
+#[derive(Clone, Debug)]
+pub struct ReachReport {
+    /// All states that can reach the target (including the target itself).
+    pub reached: StateSet,
+    /// Exact cardinality of `reached`.
+    pub reached_states: u128,
+    /// Per-iteration rows.
+    pub iterations: Vec<ReachIteration>,
+    /// `true` if a fixed point was reached (no iteration cap hit).
+    pub converged: bool,
+}
+
+/// Computes the set of states from which `target` is reachable, by
+/// iterating `R ← R ∪ Pre(frontier)` until the frontier is empty.
+///
+/// The reached set and frontiers are maintained in a [`SolutionGraph`]
+/// (shared decision DAG), so set difference and union stay cheap even when
+/// the frontier has exponentially many minterms.
+///
+/// # Examples
+///
+/// ```
+/// use presat_circuit::generators;
+/// use presat_preimage::{backward_reach, ReachOptions, SatPreimage, StateSet};
+///
+/// let c = generators::counter(3, false);
+/// let report = backward_reach(
+///     &SatPreimage::success_driven(),
+///     &c,
+///     &StateSet::from_state_bits(0, 3),
+///     ReachOptions::default(),
+/// );
+/// // a free-running counter reaches 0 from every state
+/// assert!(report.converged);
+/// assert_eq!(report.reached_states, 8);
+/// ```
+pub fn backward_reach(
+    engine: &dyn PreimageEngine,
+    circuit: &Circuit,
+    target: &StateSet,
+    options: ReachOptions,
+) -> ReachReport {
+    let n = circuit.num_latches();
+    let position_vars: Vec<Var> = Var::range(n).collect();
+    let mut graph = SolutionGraph::new(n);
+
+    let mut reached = graph.add_cube_set(target.cubes(), &position_vars);
+    let mut frontier_node = reached;
+    let mut iterations = Vec::new();
+    let mut converged = false;
+
+    for iteration in 1.. {
+        if frontier_node == SolutionNodeId::BOTTOM {
+            converged = true;
+            break;
+        }
+        if options
+            .max_iterations
+            .is_some_and(|cap| iteration > cap)
+        {
+            break;
+        }
+        let frontier = StateSet::from_cubes(graph.to_cube_set(frontier_node, &position_vars));
+        let start = Instant::now();
+        let pre = engine.preimage(circuit, &frontier);
+        let elapsed = start.elapsed();
+
+        let pre_node = graph.add_cube_set(pre.states.cubes(), &position_vars);
+        let new_node = graph.diff(pre_node, reached);
+        let next_frontier = if options.simplify_frontier && new_node != SolutionNodeId::BOTTOM {
+            // Care set = everything not yet reached; inside the reached
+            // region the frontier may grow arbitrarily (those states are
+            // already known backward-reachable), which lets sibling
+            // substitution shrink the representation.
+            let care = graph.diff(SolutionNodeId::TOP, reached);
+            graph.simplify(new_node, care)
+        } else {
+            new_node
+        };
+        reached = graph.union(reached, new_node);
+        iterations.push(ReachIteration {
+            iteration,
+            frontier_cubes: frontier.num_cubes(),
+            new_states: graph.minterm_count(new_node),
+            reached_states: graph.minterm_count(reached),
+            elapsed,
+        });
+        frontier_node = if graph.minterm_count(new_node) == 0 {
+            SolutionNodeId::BOTTOM
+        } else {
+            next_frontier
+        };
+    }
+
+    let reached_states = graph.minterm_count(reached);
+    ReachReport {
+        reached: StateSet::from_cubes(graph.to_cube_set(reached, &position_vars)),
+        reached_states,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use crate::sat_engine::SatPreimage;
+    use crate::bdd_engine::BddPreimage;
+    use presat_circuit::generators;
+
+    fn check_reach(circuit: &Circuit, target: &StateSet) {
+        let n = circuit.num_latches();
+        let expect = oracle::backward_reachable_bits(circuit, target);
+        for engine in [
+            Box::new(SatPreimage::success_driven()) as Box<dyn PreimageEngine>,
+            Box::new(SatPreimage::blocking()),
+            Box::new(BddPreimage::substitution()),
+        ] {
+            let report = backward_reach(engine.as_ref(), circuit, target, ReachOptions::default());
+            assert!(report.converged);
+            assert_eq!(
+                report.reached_states,
+                expect.len() as u128,
+                "{} on {}",
+                engine.name(),
+                circuit.name()
+            );
+            for &b in &expect {
+                assert!(report.reached.contains_bits(b, n));
+            }
+        }
+    }
+
+    #[test]
+    fn counter_reaches_everything() {
+        let c = generators::counter(3, false);
+        check_reach(&c, &StateSet::from_state_bits(5, 3));
+    }
+
+    #[test]
+    fn counter_iteration_chain_length() {
+        // Reaching state 0 of an n-bit counter takes 2^n - 1 preimage
+        // steps (one new state per iteration) plus the empty-frontier step.
+        let c = generators::counter(3, false);
+        let report = backward_reach(
+            &SatPreimage::success_driven(),
+            &c,
+            &StateSet::from_state_bits(0, 3),
+            ReachOptions::default(),
+        );
+        assert_eq!(report.iterations.len(), 8);
+        assert!(report
+            .iterations
+            .iter()
+            .take(7)
+            .all(|row| row.new_states == 1));
+        assert_eq!(report.iterations.last().unwrap().new_states, 0);
+    }
+
+    #[test]
+    fn shift_register_converges_quickly() {
+        let c = generators::shift_register(4);
+        check_reach(&c, &StateSet::from_partial(&[(3, true)]));
+    }
+
+    #[test]
+    fn lfsr_cycle_reaches_cycle_members() {
+        let c = generators::lfsr(4);
+        check_reach(&c, &StateSet::from_state_bits(1, 4));
+    }
+
+    #[test]
+    fn arbiter_reachability() {
+        let c = generators::round_robin_arbiter(2);
+        check_reach(&c, &StateSet::from_partial(&[(2, true)]));
+    }
+
+    #[test]
+    fn frontier_simplification_preserves_the_fixed_point() {
+        for (circuit, target) in [
+            (generators::counter(4, true), StateSet::from_state_bits(9, 4)),
+            (
+                generators::round_robin_arbiter(2),
+                StateSet::from_partial(&[(2, true)]),
+            ),
+            (generators::parity(3), StateSet::from_partial(&[(3, true)])),
+            (generators::lfsr(5), StateSet::from_state_bits(7, 5)),
+        ] {
+            let n = circuit.num_latches();
+            let plain = backward_reach(
+                &SatPreimage::success_driven(),
+                &circuit,
+                &target,
+                ReachOptions::default(),
+            );
+            let simplified = backward_reach(
+                &SatPreimage::success_driven(),
+                &circuit,
+                &target,
+                ReachOptions {
+                    simplify_frontier: true,
+                    ..ReachOptions::default()
+                },
+            );
+            assert!(simplified.converged);
+            assert_eq!(
+                plain.reached_states, simplified.reached_states,
+                "{}",
+                circuit.name()
+            );
+            assert!(plain.reached.semantically_eq(&simplified.reached, n));
+        }
+    }
+
+    #[test]
+    fn s27_reachability() {
+        let c = presat_circuit::embedded::s27().unwrap();
+        check_reach(&c, &StateSet::from_state_bits(2, 3));
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let c = generators::counter(4, false);
+        let report = backward_reach(
+            &SatPreimage::success_driven(),
+            &c,
+            &StateSet::from_state_bits(0, 4),
+            ReachOptions {
+                max_iterations: Some(3),
+                ..ReachOptions::default()
+            },
+        );
+        assert!(!report.converged);
+        assert_eq!(report.iterations.len(), 3);
+        assert_eq!(report.reached_states, 4); // target + 3 predecessors
+    }
+
+    #[test]
+    fn empty_target_converges_immediately() {
+        let c = generators::counter(3, false);
+        let report = backward_reach(
+            &SatPreimage::success_driven(),
+            &c,
+            &StateSet::empty(),
+            ReachOptions::default(),
+        );
+        assert!(report.converged);
+        assert_eq!(report.reached_states, 0);
+        assert!(report.iterations.is_empty());
+    }
+}

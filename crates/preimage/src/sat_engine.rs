@@ -1,0 +1,264 @@
+//! SAT-enumerative preimage engines.
+
+use std::time::Instant;
+
+use presat_allsat::{
+    AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, SignatureMode,
+    SuccessDrivenAllSat,
+};
+use presat_circuit::Circuit;
+use presat_logic::CubeSet;
+
+use crate::encoding::StepEncoding;
+use crate::engine::{PreimageEngine, PreimageResult, PreimageStats};
+use crate::state_set::StateSet;
+
+/// Which all-solutions engine a [`SatPreimage`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatEngineKind {
+    /// Naive blocking clauses ([`BlockingAllSat`]).
+    Blocking,
+    /// Lifted blocking clauses ([`MinimizedBlockingAllSat`]).
+    MinBlocking,
+    /// The paper's solver ([`SuccessDrivenAllSat`]) with the given
+    /// signature mode and model guidance.
+    SuccessDriven {
+        /// Subspace-reuse signature mode.
+        signature: SignatureMode,
+        /// Model guidance on/off.
+        model_guidance: bool,
+    },
+}
+
+/// SAT-based preimage computation: encode the constrained step relation
+/// ([`StepEncoding`]) and enumerate all solutions projected onto the
+/// present-state variables.
+///
+/// # Examples
+///
+/// ```
+/// use presat_circuit::generators;
+/// use presat_preimage::{PreimageEngine, SatPreimage, StateSet};
+///
+/// let c = generators::shift_register(4);
+/// // target: serial output latch = 1
+/// let t = StateSet::from_partial(&[(3, true)]);
+/// let pre = SatPreimage::success_driven().preimage(&c, &t);
+/// // preimage: latch 2 = 1 (it shifts into latch 3), 8 states
+/// assert_eq!(pre.states.minterm_count(4), 8);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SatPreimage {
+    kind: SatEngineKind,
+    env: Option<CubeSet>,
+}
+
+impl SatPreimage {
+    /// Preimage via naive blocking clauses.
+    pub fn blocking() -> Self {
+        SatPreimage {
+            kind: SatEngineKind::Blocking,
+            env: None,
+        }
+    }
+
+    /// Preimage via lifted blocking clauses.
+    pub fn min_blocking() -> Self {
+        SatPreimage {
+            kind: SatEngineKind::MinBlocking,
+            env: None,
+        }
+    }
+
+    /// Preimage via the success-driven solver (full configuration).
+    pub fn success_driven() -> Self {
+        SatPreimage {
+            kind: SatEngineKind::SuccessDriven {
+                signature: SignatureMode::Dynamic,
+                model_guidance: true,
+            },
+            env: None,
+        }
+    }
+
+    /// Preimage via an explicitly configured success-driven solver
+    /// (ablation studies).
+    pub fn success_driven_with(signature: SignatureMode, model_guidance: bool) -> Self {
+        SatPreimage {
+            kind: SatEngineKind::SuccessDriven {
+                signature,
+                model_guidance,
+            },
+            env: None,
+        }
+    }
+
+    /// Restricts the primary inputs to the environment `env` — a union of
+    /// cubes over input positions (`Var::new(i)` = input `i`). The
+    /// preimage then only counts transitions the environment permits.
+    pub fn with_env(mut self, env: CubeSet) -> Self {
+        self.env = Some(env);
+        self
+    }
+
+    /// The configured engine kind.
+    pub fn kind(&self) -> SatEngineKind {
+        self.kind
+    }
+}
+
+impl PreimageEngine for SatPreimage {
+    fn name(&self) -> String {
+        match self.kind {
+            SatEngineKind::Blocking => "sat-blocking".into(),
+            SatEngineKind::MinBlocking => "sat-min-blocking".into(),
+            SatEngineKind::SuccessDriven {
+                signature,
+                model_guidance,
+            } => format!(
+                "sat-success-driven[{signature:?}{}]",
+                if model_guidance { "" } else { ",no-guidance" }
+            ),
+        }
+    }
+
+    fn preimage(&self, circuit: &Circuit, target: &StateSet) -> PreimageResult {
+        let start = Instant::now();
+        let enc = StepEncoding::build_with_env(circuit, target, self.env.as_ref());
+        let problem = AllSatProblem::new(enc.cnf().clone(), enc.state_vars());
+        let result = match self.kind {
+            SatEngineKind::Blocking => BlockingAllSat::new().enumerate(&problem),
+            SatEngineKind::MinBlocking => MinimizedBlockingAllSat::new().enumerate(&problem),
+            SatEngineKind::SuccessDriven {
+                signature,
+                model_guidance,
+            } => SuccessDrivenAllSat::new()
+                .with_signature(signature)
+                .with_model_guidance(model_guidance)
+                .enumerate(&problem),
+        };
+        let states = StateSet::from_cubes(result.cubes.clone());
+        PreimageResult {
+            stats: PreimageStats {
+                result_cubes: result.cubes.len() as u64,
+                solver_calls: result.stats.solver_calls,
+                blocking_clauses: result.stats.blocking_clauses,
+                graph_nodes: result.stats.graph_nodes,
+                cache_hits: result.stats.cache_hits,
+                bdd_nodes: 0,
+                sat_conflicts: result.stats.sat_conflicts,
+            },
+            states,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use presat_circuit::generators;
+
+    fn engines() -> Vec<SatPreimage> {
+        vec![
+            SatPreimage::blocking(),
+            SatPreimage::min_blocking(),
+            SatPreimage::success_driven(),
+            SatPreimage::success_driven_with(SignatureMode::Static, true),
+            SatPreimage::success_driven_with(SignatureMode::None, false),
+        ]
+    }
+
+    fn check_all_engines(circuit: &Circuit, target: &StateSet) {
+        let n = circuit.num_latches();
+        let expect = oracle::preimage(circuit, target);
+        for e in engines() {
+            let got = e.preimage(circuit, target);
+            assert!(
+                got.states.semantically_eq(&expect, n),
+                "{} diverges on {} (target {target})",
+                e.name(),
+                circuit.name()
+            );
+        }
+    }
+
+    #[test]
+    fn counter_preimages() {
+        let c = generators::counter(4, false);
+        check_all_engines(&c, &StateSet::from_state_bits(9, 4));
+        check_all_engines(&c, &StateSet::from_partial(&[(0, true)]));
+    }
+
+    #[test]
+    fn lfsr_preimages_are_singletons() {
+        let c = generators::lfsr(5);
+        let t = StateSet::from_state_bits(13, 5);
+        check_all_engines(&c, &t);
+        let pre = SatPreimage::success_driven().preimage(&c, &t);
+        assert_eq!(pre.states.minterm_count(5), 1, "LFSR step is a bijection");
+    }
+
+    #[test]
+    fn parity_preimage_counts() {
+        let c = generators::parity(4); // 5 latches
+        let t = StateSet::from_partial(&[(4, true)]);
+        check_all_engines(&c, &t);
+        let pre = SatPreimage::success_driven().preimage(&c, &t);
+        // odd-parity data states, parity latch free: 8 * 2 = 16
+        assert_eq!(pre.states.minterm_count(5), 16);
+    }
+
+    #[test]
+    fn arbiter_preimages() {
+        let c = generators::round_robin_arbiter(2); // 4 latches, 2 inputs
+        check_all_engines(&c, &StateSet::from_partial(&[(2, true)]));
+        check_all_engines(&c, &StateSet::from_state_bits(0b0101, 4));
+    }
+
+    #[test]
+    fn comparator_preimages() {
+        let c = generators::comparator(3); // 4 latches, 6 inputs
+        check_all_engines(&c, &StateSet::from_partial(&[(3, true)]));
+    }
+
+    #[test]
+    fn s27_preimages() {
+        let c = presat_circuit::embedded::s27().unwrap();
+        for bits in 0..8u64 {
+            check_all_engines(&c, &StateSet::from_state_bits(bits, 3));
+        }
+    }
+
+    #[test]
+    fn random_circuits_fuzz() {
+        for seed in 0..6 {
+            let c = generators::random_dag(3, 4, 25, seed);
+            check_all_engines(&c, &StateSet::from_state_bits(seed % 16, 4));
+            check_all_engines(&c, &StateSet::from_partial(&[(1, false)]));
+        }
+    }
+
+    #[test]
+    fn success_driven_beats_blocking_on_parity_memory() {
+        let c = generators::parity(8); // many-cube preimage
+        let t = StateSet::from_partial(&[(8, true)]);
+        let bl = SatPreimage::blocking().preimage(&c, &t);
+        let sd = SatPreimage::success_driven().preimage(&c, &t);
+        assert!(sd.stats.graph_nodes > 0);
+        assert!(
+            sd.stats.graph_nodes < bl.stats.blocking_clauses,
+            "graph {} !< blocking clauses {}",
+            sd.stats.graph_nodes,
+            bl.stats.blocking_clauses
+        );
+    }
+
+    #[test]
+    fn empty_target_yields_empty_preimage() {
+        let c = generators::counter(3, false);
+        let pre = SatPreimage::success_driven().preimage(&c, &StateSet::empty());
+        assert!(pre.states.is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Sets of circuit states.
+
+use std::fmt;
+
+use presat_logic::{Assignment, Cube, CubeSet, Lit, Var};
+
+/// A set of states of a sequential circuit, represented as a union of cubes
+/// over *latch positions*: variable `Var::new(j)` stands for latch `j`,
+/// regardless of how any particular engine numbers its CNF or BDD
+/// variables. This position-space convention is the common currency between
+/// the SAT engines, the BDD engine, the oracle, and the reachability loop.
+///
+/// # Examples
+///
+/// ```
+/// use presat_preimage::StateSet;
+///
+/// let s = StateSet::from_state_bits(0b101, 3);
+/// assert!(s.contains_bits(0b101, 3));
+/// assert!(!s.contains_bits(0b001, 3));
+/// assert_eq!(s.minterm_count(3), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct StateSet {
+    cubes: CubeSet,
+}
+
+impl StateSet {
+    /// The empty set of states.
+    pub fn empty() -> Self {
+        StateSet::default()
+    }
+
+    /// The set of all states.
+    pub fn all() -> Self {
+        StateSet {
+            cubes: CubeSet::universe(),
+        }
+    }
+
+    /// A singleton set holding the state whose latch `j` has bit `j` of
+    /// `bits`.
+    pub fn from_state_bits(bits: u64, num_latches: usize) -> Self {
+        let cube = Cube::from_lits(
+            (0..num_latches).map(|j| Lit::with_phase(Var::new(j), bits >> j & 1 == 1)),
+        )
+        .expect("distinct latch positions");
+        StateSet {
+            cubes: CubeSet::from_iter([cube]),
+        }
+    }
+
+    /// A set described by cubes over latch positions.
+    pub fn from_cubes(cubes: CubeSet) -> Self {
+        StateSet { cubes }
+    }
+
+    /// A set holding one cube: latch `j` fixed to `phase` for each pair,
+    /// other latches free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a latch position repeats.
+    pub fn from_partial(fixed: &[(usize, bool)]) -> Self {
+        let cube = Cube::from_lits(
+            fixed
+                .iter()
+                .map(|&(j, phase)| Lit::with_phase(Var::new(j), phase)),
+        )
+        .expect("conflicting latch constraints");
+        StateSet {
+            cubes: CubeSet::from_iter([cube]),
+        }
+    }
+
+    /// The cubes (over latch positions).
+    pub fn cubes(&self) -> &CubeSet {
+        &self.cubes
+    }
+
+    /// `true` if the set contains no states.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Number of cubes (not states).
+    pub fn num_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Exact number of states over `num_latches` latches.
+    pub fn minterm_count(&self, num_latches: usize) -> u128 {
+        self.cubes.minterm_count(num_latches)
+    }
+
+    /// `true` if the state `bits` is in the set.
+    pub fn contains_bits(&self, bits: u64, num_latches: usize) -> bool {
+        let a = Assignment::from_bits(bits, num_latches);
+        self.cubes.contains_minterm(&a)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &StateSet) -> StateSet {
+        StateSet {
+            cubes: self.cubes.union(&other.cubes),
+        }
+    }
+
+    /// `true` if the two sets contain the same states (exact semantic
+    /// check, oracle-scale only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_latches > 24`.
+    pub fn semantically_eq(&self, other: &StateSet, num_latches: usize) -> bool {
+        let vars: Vec<Var> = Var::range(num_latches).collect();
+        self.cubes.semantically_eq(&other.cubes, &vars)
+    }
+
+    /// All member states as bit patterns (oracle-scale only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_latches > 24`.
+    pub fn enumerate_bits(&self, num_latches: usize) -> Vec<u64> {
+        (0..(1u64 << num_latches))
+            .filter(|&b| self.contains_bits(b, num_latches))
+            .collect()
+    }
+}
+
+impl fmt::Debug for StateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateSet({})", self.cubes)
+    }
+}
+
+impl fmt::Display for StateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.cubes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_contains_only_itself() {
+        let s = StateSet::from_state_bits(5, 4);
+        for bits in 0..16 {
+            assert_eq!(s.contains_bits(bits, 4), bits == 5);
+        }
+    }
+
+    #[test]
+    fn partial_fixes_only_listed_latches() {
+        let s = StateSet::from_partial(&[(1, true)]);
+        assert_eq!(s.minterm_count(3), 4);
+        assert!(s.contains_bits(0b010, 3));
+        assert!(s.contains_bits(0b111, 3));
+        assert!(!s.contains_bits(0b101, 3));
+    }
+
+    #[test]
+    fn union_and_equality() {
+        let a = StateSet::from_state_bits(1, 2);
+        let b = StateSet::from_state_bits(2, 2);
+        let u = a.union(&b);
+        assert_eq!(u.minterm_count(2), 2);
+        assert!(u.semantically_eq(&b.union(&a), 2));
+        assert!(!u.semantically_eq(&a, 2));
+    }
+
+    #[test]
+    fn all_and_empty() {
+        assert_eq!(StateSet::all().minterm_count(3), 8);
+        assert!(StateSet::empty().is_empty());
+        assert_eq!(StateSet::empty().minterm_count(3), 0);
+    }
+
+    #[test]
+    fn enumerate_bits_lists_members() {
+        let s = StateSet::from_partial(&[(0, false)]);
+        assert_eq!(s.enumerate_bits(2), vec![0, 2]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Time-frame unrolling: the k-step preimage in a single SAT instance.
+//!
+//! Iterating one-step preimages gives the states at distance ≤ k, but each
+//! iteration pays the cost of re-encoding its frontier as a target. The
+//! bounded-model-checking alternative unrolls the transition relation `k`
+//! times and asks for all solutions projected onto the *first* frame's
+//! state variables in one all-SAT run:
+//!
+//! ```text
+//! Pre^k(T)(X0) = ∃W0..W(k-1) ∃X1..Xk . T(Xk) ∧ ∏t (X(t+1) = δ(Xt, Wt))
+//! ```
+//!
+//! This enumerates states with a path of length *exactly* `k` into the
+//! target, which is also the natural query of sequential ATPG ("justify in
+//! exactly k cycles").
+
+use std::time::Instant;
+
+use presat_allsat::{AllSatEngine, AllSatProblem, SuccessDrivenAllSat};
+use presat_circuit::{Circuit, Tseitin};
+use presat_logic::{Cnf, Lit, Var};
+
+use crate::engine::{PreimageResult, PreimageStats};
+use crate::state_set::StateSet;
+
+/// The CNF of `k` chained time frames with the target imposed on the last
+/// frame's state variables.
+///
+/// Layout: frame-0 state `X0` at CNF variables `0..n` (the important set),
+/// then per frame `t = 0..k`: inputs `Wt` (`m` variables) followed by the
+/// *next* frame's state block `X(t+1)` (`n` variables); Tseitin
+/// auxiliaries live above all blocks.
+///
+/// # Examples
+///
+/// ```
+/// use presat_circuit::generators;
+/// use presat_preimage::{StateSet, UnrolledEncoding};
+///
+/// let c = generators::counter(3, false);
+/// let enc = UnrolledEncoding::build(&c, &StateSet::from_state_bits(5, 3), 2);
+/// assert_eq!(enc.frame0_vars().len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnrolledEncoding {
+    cnf: Cnf,
+    num_latches: usize,
+    depth: usize,
+}
+
+impl UnrolledEncoding {
+    /// Unrolls `circuit` for `depth` frames with `target` on the last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`, the circuit is incomplete, or a target cube
+    /// mentions a latch position out of range.
+    pub fn build(circuit: &Circuit, target: &StateSet, depth: usize) -> Self {
+        assert!(depth > 0, "unrolling depth must be positive");
+        circuit.validate().expect("circuit must be complete");
+        let n = circuit.num_latches();
+        let m = circuit.num_inputs();
+
+        // Fixed blocks: X0 at 0..n, then per frame (Wt, X(t+1)).
+        let frame_state_base = |t: usize| -> usize {
+            if t == 0 {
+                0
+            } else {
+                n + (t - 1) * (m + n) + m
+            }
+        };
+        let frame_input_base = |t: usize| n + t * (m + n);
+        let fixed_vars = n + depth * (m + n);
+        let mut cnf = Cnf::new(fixed_vars);
+
+        for t in 0..depth {
+            // Leaves for frame t: inputs → Wt block, states → Xt block.
+            let mut leaf_vars = Vec::with_capacity(m + n);
+            for i in 0..m {
+                leaf_vars.push(Var::new(frame_input_base(t) + i));
+            }
+            for j in 0..n {
+                leaf_vars.push(Var::new(frame_state_base(t) + j));
+            }
+            let mut enc = Tseitin::with_base_cnf(circuit.aig(), leaf_vars, cnf);
+            let next_lits: Vec<Lit> = (0..n)
+                .map(|j| enc.lit_of(circuit.latch_next(j)))
+                .collect();
+            cnf = enc.into_cnf();
+            // X(t+1) ↔ δ(Xt, Wt).
+            for (j, &fl) in next_lits.iter().enumerate() {
+                let xj = Lit::pos(Var::new(frame_state_base(t + 1) + j));
+                cnf.add_clause([!xj, fl]);
+                cnf.add_clause([xj, !fl]);
+            }
+        }
+
+        // Target on the final frame.
+        let last = frame_state_base(depth);
+        let cubes = target.cubes();
+        if cubes.is_empty() {
+            cnf.add_clause([]);
+        } else if cubes.len() == 1 {
+            for &l in cubes.cubes()[0].lits() {
+                let j = l.var().index();
+                assert!(j < n, "target cube mentions latch position {j} ≥ {n}");
+                cnf.add_unit(Lit::with_phase(Var::new(last + j), l.phase()));
+            }
+        } else {
+            let mut selectors = Vec::with_capacity(cubes.len());
+            for cube in cubes {
+                let sel = Lit::pos(cnf.fresh_var());
+                for &l in cube.lits() {
+                    let j = l.var().index();
+                    assert!(j < n, "target cube mentions latch position {j} ≥ {n}");
+                    cnf.add_clause([!sel, Lit::with_phase(Var::new(last + j), l.phase())]);
+                }
+                selectors.push(sel);
+            }
+            cnf.add_clause(selectors);
+        }
+
+        UnrolledEncoding {
+            cnf,
+            num_latches: n,
+            depth,
+        }
+    }
+
+    /// The unrolled CNF.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// The frame-0 state variables (the important set).
+    pub fn frame0_vars(&self) -> Vec<Var> {
+        Var::range(self.num_latches).collect()
+    }
+
+    /// The unrolling depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// Computes the exact-`k`-step preimage: the set of states with some input
+/// sequence of length `k` ending in `target`, using the success-driven
+/// all-solutions engine on the unrolled instance.
+///
+/// # Examples
+///
+/// ```
+/// use presat_circuit::generators;
+/// use presat_preimage::{k_step_preimage, StateSet};
+///
+/// let c = generators::counter(3, false);
+/// let pre2 = k_step_preimage(&c, &StateSet::from_state_bits(5, 3), 2);
+/// // exactly two steps before 5 is 3
+/// assert!(pre2.states.contains_bits(3, 3));
+/// assert_eq!(pre2.states.minterm_count(3), 1);
+/// ```
+pub fn k_step_preimage(circuit: &Circuit, target: &StateSet, k: usize) -> PreimageResult {
+    let start = Instant::now();
+    let enc = UnrolledEncoding::build(circuit, target, k);
+    let problem = AllSatProblem::new(enc.cnf().clone(), enc.frame0_vars());
+    let result = SuccessDrivenAllSat::new().enumerate(&problem);
+    let states = StateSet::from_cubes(result.cubes.clone());
+    PreimageResult {
+        stats: PreimageStats {
+            result_cubes: result.cubes.len() as u64,
+            solver_calls: result.stats.solver_calls,
+            blocking_clauses: result.stats.blocking_clauses,
+            graph_nodes: result.stats.graph_nodes,
+            cache_hits: result.stats.cache_hits,
+            bdd_nodes: 0,
+            sat_conflicts: result.stats.sat_conflicts,
+        },
+        states,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat_engine::SatPreimage;
+    use crate::engine::PreimageEngine;
+    use presat_circuit::{generators, sim};
+    use std::collections::BTreeSet;
+
+    /// States with a path of length exactly `k` into the target.
+    fn oracle_k_step(circuit: &Circuit, target: &StateSet, k: usize) -> BTreeSet<u64> {
+        let n = circuit.num_latches();
+        let transitions = sim::enumerate_transitions(circuit);
+        let mut layer: BTreeSet<u64> = (0..(1u64 << n))
+            .filter(|&b| target.contains_bits(b, n))
+            .collect();
+        for _ in 0..k {
+            layer = transitions
+                .iter()
+                .filter(|(_, _, next)| layer.contains(next))
+                .map(|&(s, _, _)| s)
+                .collect();
+        }
+        layer
+    }
+
+    fn check(circuit: &Circuit, target: &StateSet, k: usize) {
+        let n = circuit.num_latches();
+        let expect = oracle_k_step(circuit, target, k);
+        let got = k_step_preimage(circuit, target, k);
+        for bits in 0..(1u64 << n) {
+            assert_eq!(
+                got.states.contains_bits(bits, n),
+                expect.contains(&bits),
+                "{}: k={k} state {bits:b}",
+                circuit.name()
+            );
+        }
+    }
+
+    #[test]
+    fn depth_one_equals_single_step() {
+        let c = generators::parity(3);
+        let t = StateSet::from_partial(&[(3, true)]);
+        let one = k_step_preimage(&c, &t, 1);
+        let single = SatPreimage::success_driven().preimage(&c, &t);
+        assert!(one.states.semantically_eq(&single.states, 4));
+    }
+
+    #[test]
+    fn counter_k_step_walks_back() {
+        let c = generators::counter(4, false);
+        for k in 1..=5 {
+            check(&c, &StateSet::from_state_bits(9, 4), k);
+        }
+    }
+
+    #[test]
+    fn shift_register_k_step() {
+        let c = generators::shift_register(4);
+        for k in [1, 2, 4] {
+            check(&c, &StateSet::from_state_bits(0b1111, 4), k);
+        }
+    }
+
+    #[test]
+    fn arbiter_k_step() {
+        let c = generators::round_robin_arbiter(2);
+        for k in [1, 2, 3] {
+            check(&c, &StateSet::from_partial(&[(2, true)]), k);
+        }
+    }
+
+    #[test]
+    fn s27_k_step() {
+        let c = presat_circuit::embedded::s27().unwrap();
+        for k in [1, 2, 3] {
+            check(&c, &StateSet::from_state_bits(0b110, 3), k);
+        }
+    }
+
+    #[test]
+    fn empty_target_stays_empty() {
+        let c = generators::counter(3, false);
+        let pre = k_step_preimage(&c, &StateSet::empty(), 3);
+        assert!(pre.states.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let c = generators::counter(2, false);
+        let _ = UnrolledEncoding::build(&c, &StateSet::from_state_bits(0, 2), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Clause storage: a slab arena of clauses addressed by [`ClauseRef`].
+
+use presat_logic::Lit;
+
+/// Index of a clause in the solver's clause arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct ClauseRef(pub(crate) u32);
+
+/// A stored clause with learning metadata.
+#[derive(Clone, Debug)]
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    /// `true` for conflict-learnt clauses (candidates for deletion).
+    pub(crate) learnt: bool,
+    /// Literal-block distance at learning time (glue); lower = keep longer.
+    pub(crate) lbd: u32,
+    /// Bump-decay activity for the reduction heuristic.
+    pub(crate) activity: f64,
+    /// Tombstone flag set by database reduction; watchers are pruned lazily.
+    pub(crate) deleted: bool,
+}
+
+/// The clause arena. Deleted clauses leave tombstones which are reused only
+/// when the arena is compacted between solves (compaction is unnecessary for
+/// the workloads in this workspace; tombstones keep `ClauseRef`s stable).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ClauseDb {
+    arena: Vec<Clause>,
+    /// Refs of learnt clauses still alive, for reduction sweeps.
+    pub(crate) learnts: Vec<ClauseRef>,
+}
+
+impl ClauseDb {
+    pub(crate) fn new() -> Self {
+        ClauseDb::default()
+    }
+
+    pub(crate) fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        let cref = ClauseRef(u32::try_from(self.arena.len()).expect("clause arena overflow"));
+        self.arena.push(Clause {
+            lits,
+            learnt,
+            lbd,
+            activity: 0.0,
+            deleted: false,
+        });
+        if learnt {
+            self.learnts.push(cref);
+        }
+        cref
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.arena[cref.0 as usize]
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.arena[cref.0 as usize]
+    }
+
+    pub(crate) fn delete(&mut self, cref: ClauseRef) {
+        self.arena[cref.0 as usize].deleted = true;
+    }
+
+    /// Number of live learnt clauses.
+    pub(crate) fn live_learnts(&self) -> usize {
+        self.learnts
+            .iter()
+            .filter(|&&c| !self.get(c).deleted)
+            .count()
+    }
+
+    /// Drops tombstoned refs from the learnt index (not from the arena).
+    pub(crate) fn sweep_learnt_index(&mut self) {
+        let arena = &self.arena;
+        self.learnts.retain(|&c| !arena[c.0 as usize].deleted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presat_logic::Var;
+
+    fn lit(v: usize) -> Lit {
+        Lit::pos(Var::new(v))
+    }
+
+    #[test]
+    fn alloc_and_get() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(vec![lit(0), lit(1)], false, 0);
+        assert_eq!(db.get(c).lits.len(), 2);
+        assert!(!db.get(c).learnt);
+    }
+
+    #[test]
+    fn learnt_index_tracks_learnts_only() {
+        let mut db = ClauseDb::new();
+        db.alloc(vec![lit(0)], false, 0);
+        let l = db.alloc(vec![lit(1)], true, 2);
+        assert_eq!(db.learnts, vec![l]);
+        assert_eq!(db.live_learnts(), 1);
+    }
+
+    #[test]
+    fn delete_tombstones_and_sweep() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(vec![lit(0)], true, 1);
+        let b = db.alloc(vec![lit(1)], true, 1);
+        db.delete(a);
+        assert!(db.get(a).deleted);
+        assert_eq!(db.live_learnts(), 1);
+        db.sweep_learnt_index();
+        assert_eq!(db.learnts, vec![b]);
+    }
+}

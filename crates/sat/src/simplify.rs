@@ -1,0 +1,322 @@
+//! Equivalence-preserving CNF preprocessing.
+//!
+//! Three classical rules, applied to a fixed point:
+//!
+//! * **unit propagation** — a unit clause `l` deletes every clause
+//!   containing `l` (replacing it with the unit itself) and erases `¬l`
+//!   from the rest;
+//! * **subsumption** — a clause `C ⊆ D` deletes `D`;
+//! * **self-subsuming resolution** — if `C \ {l} ⊆ D` and `¬l ∈ D`, the
+//!   literal `¬l` is erased from `D` (strengthening).
+//!
+//! All three preserve *logical equivalence*, not merely satisfiability, so
+//! the simplified formula has exactly the same model set — which is what
+//! the all-solutions engines require of any preprocessing.
+//!
+//! # Examples
+//!
+//! ```
+//! use presat_logic::{Cnf, Lit, Var};
+//! use presat_sat::simplify;
+//!
+//! let mut cnf = Cnf::new(3);
+//! cnf.add_clause([Lit::pos(Var::new(0))]);                         // x0
+//! cnf.add_clause([Lit::neg(Var::new(0)), Lit::pos(Var::new(1))]);  // ¬x0 ∨ x1 → x1
+//! cnf.add_clause([Lit::pos(Var::new(1)), Lit::pos(Var::new(2))]);  // subsumed by x1
+//! let (simplified, stats) = simplify::simplify_cnf(&cnf);
+//! assert_eq!(simplified.num_clauses(), 2); // x0, x1
+//! assert!(stats.units >= 1);
+//! ```
+
+use std::collections::BTreeSet;
+
+use presat_logic::{Cnf, Lit};
+
+/// Counters describing what the simplifier did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Unit clauses discovered (including derived ones).
+    pub units: u64,
+    /// Clauses removed by subsumption or unit satisfaction.
+    pub subsumed: u64,
+    /// Literals erased by self-subsuming resolution or unit falsification.
+    pub strengthened: u64,
+    /// `true` if the formula was proven unsatisfiable outright.
+    pub proven_unsat: bool,
+}
+
+/// Canonical clause form used internally: sorted, deduplicated literal set.
+type SetClause = BTreeSet<Lit>;
+
+/// Simplifies `cnf` to a fixed point of the three rules. Returns the
+/// simplified formula (same variable space) and statistics.
+///
+/// The result is logically equivalent to the input: every total assignment
+/// satisfies the output iff it satisfies the input. If the formula is
+/// proven unsatisfiable the output contains just the empty clause.
+pub fn simplify_cnf(cnf: &Cnf) -> (Cnf, SimplifyStats) {
+    let mut stats = SimplifyStats::default();
+
+    // Canonicalize: drop tautologies, dedupe literals and clauses.
+    let mut clauses: Vec<SetClause> = Vec::with_capacity(cnf.num_clauses());
+    for clause in cnf.clauses() {
+        let set: SetClause = clause.iter().copied().collect();
+        if set.iter().any(|&l| set.contains(&!l)) {
+            continue; // tautology
+        }
+        clauses.push(set);
+    }
+    clauses.sort();
+    clauses.dedup();
+
+    loop {
+        let mut changed = false;
+
+        // Unit propagation to closure: each pass applies *every* current
+        // unit to every other clause, then re-collects (strengthening may
+        // create new units).
+        let mut seen_units: BTreeSet<Lit> = BTreeSet::new();
+        loop {
+            let units: BTreeSet<Lit> = clauses
+                .iter()
+                .filter(|c| c.len() == 1)
+                .map(|c| *c.iter().next().expect("unit"))
+                .collect();
+            if units.iter().any(|&l| units.contains(&!l)) {
+                stats.proven_unsat = true;
+                let mut result = Cnf::new(cnf.num_vars());
+                result.add_clause([]);
+                return (result, stats);
+            }
+            for &u in &units {
+                if seen_units.insert(u) {
+                    stats.units += 1;
+                }
+            }
+            let mut progressed = false;
+            let mut out: Vec<SetClause> = Vec::with_capacity(clauses.len());
+            for c in clauses.drain(..) {
+                if c.len() == 1 {
+                    out.push(c); // keep units themselves
+                    continue;
+                }
+                if c.iter().any(|l| units.contains(l)) {
+                    stats.subsumed += 1;
+                    progressed = true; // satisfied: drop
+                    continue;
+                }
+                let mut d = c;
+                let before = d.len();
+                d.retain(|l| !units.contains(&!*l));
+                if d.len() != before {
+                    stats.strengthened += (before - d.len()) as u64;
+                    progressed = true;
+                }
+                if d.is_empty() {
+                    stats.proven_unsat = true;
+                    let mut result = Cnf::new(cnf.num_vars());
+                    result.add_clause([]);
+                    return (result, stats);
+                }
+                out.push(d);
+            }
+            clauses = out;
+            if !progressed {
+                break;
+            }
+            changed = true;
+            clauses.sort();
+            clauses.dedup();
+        }
+
+        // Subsumption and self-subsuming resolution (quadratic sweep —
+        // ample for the preprocessing sizes in this workspace).
+        let mut removed = vec![false; clauses.len()];
+        let mut strengthened_any = false;
+        for i in 0..clauses.len() {
+            if removed[i] {
+                continue;
+            }
+            for j in 0..clauses.len() {
+                if i == j || removed[j] || removed[i] {
+                    continue;
+                }
+                let (small, big) = (&clauses[i], &clauses[j]);
+                if small.len() > big.len() {
+                    continue;
+                }
+                if small.is_subset(big) {
+                    removed[j] = true;
+                    stats.subsumed += 1;
+                    changed = true;
+                    continue;
+                }
+                // Self-subsumption: exactly one literal of `small` appears
+                // negated in `big`, the rest are contained.
+                let mut pivot: Option<Lit> = None;
+                let mut ok = true;
+                for &l in small {
+                    if big.contains(&l) {
+                        continue;
+                    }
+                    if big.contains(&!l) && pivot.is_none() {
+                        pivot = Some(l);
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    if let Some(l) = pivot {
+                        clauses[j].remove(&!l);
+                        stats.strengthened += 1;
+                        strengthened_any = true;
+                        changed = true;
+                        if clauses[j].is_empty() {
+                            stats.proven_unsat = true;
+                            let mut result = Cnf::new(cnf.num_vars());
+                            result.add_clause([]);
+                            return (result, stats);
+                        }
+                    }
+                }
+            }
+        }
+        let mut kept: Vec<SetClause> = clauses
+            .into_iter()
+            .zip(removed)
+            .filter_map(|(c, r)| (!r).then_some(c))
+            .collect();
+        kept.sort();
+        kept.dedup();
+        clauses = kept;
+
+        if !changed && !strengthened_any {
+            break;
+        }
+    }
+
+    let mut result = Cnf::new(cnf.num_vars());
+    for c in &clauses {
+        result.add_clause(c.iter().copied());
+    }
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presat_logic::{truth_table, Var};
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::with_phase(Var::new(v), pos)
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([lit(0, true), lit(0, false)]);
+        cnf.add_clause([lit(1, true)]);
+        let (s, _) = simplify_cnf(&cnf);
+        assert_eq!(s.num_clauses(), 1);
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(0, true)]);
+        cnf.add_clause([lit(0, false), lit(1, true)]);
+        cnf.add_clause([lit(1, false), lit(2, true)]);
+        let (s, stats) = simplify_cnf(&cnf);
+        // Everything collapses to three unit clauses.
+        assert_eq!(s.num_clauses(), 3);
+        assert!(s.clauses().iter().all(|c| c.len() == 1));
+        assert!(stats.units >= 2);
+    }
+
+    #[test]
+    fn subsumption_removes_supersets() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        cnf.add_clause([lit(0, true), lit(1, true), lit(2, false)]);
+        let (s, stats) = simplify_cnf(&cnf);
+        assert_eq!(s.num_clauses(), 1);
+        assert_eq!(stats.subsumed, 1);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (a ∨ b) and (a ∨ ¬b ∨ c): resolving on b strengthens the second
+        // to (a ∨ c).
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        cnf.add_clause([lit(0, true), lit(1, false), lit(2, true)]);
+        let (s, stats) = simplify_cnf(&cnf);
+        assert!(stats.strengthened >= 1);
+        assert!(s
+            .clauses()
+            .iter()
+            .any(|c| c.len() == 2 && c.contains(&lit(2, true))));
+    }
+
+    #[test]
+    fn unsat_detected() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause([lit(0, true)]);
+        cnf.add_clause([lit(0, false)]);
+        let (s, stats) = simplify_cnf(&cnf);
+        assert!(stats.proven_unsat);
+        assert!(!truth_table::is_satisfiable(&s));
+    }
+
+    #[test]
+    fn equivalence_preserved_on_random_formulas() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        for round in 0..80 {
+            let n = 7;
+            let mut cnf = Cnf::new(n);
+            let m = rng.gen_range(3..22);
+            for _ in 0..m {
+                let w = rng.gen_range(1..4);
+                let c: Vec<Lit> = (0..w)
+                    .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect();
+                cnf.add_clause(c);
+            }
+            let (s, _) = simplify_cnf(&cnf);
+            // Exact model-set equality over the full space.
+            for bits in 0..(1u64 << n) {
+                let a = presat_logic::Assignment::from_bits(bits, n);
+                assert_eq!(
+                    cnf.eval(&a) == Some(true),
+                    s.eval(&a) == Some(true),
+                    "round {round}, bits {bits:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause([lit(0, true)]);
+        cnf.add_clause([lit(0, false), lit(1, true)]);
+        cnf.add_clause([lit(1, true), lit(2, true), lit(3, false)]);
+        let (once, _) = simplify_cnf(&cnf);
+        let (twice, stats) = simplify_cnf(&once);
+        assert_eq!(once, twice);
+        // Already-present unit clauses are re-*seen* (counted) but nothing
+        // is removed or strengthened on a second run.
+        assert_eq!(stats.subsumed, 0);
+        assert_eq!(stats.strengthened, 0);
+    }
+
+    #[test]
+    fn empty_formula_untouched() {
+        let cnf = Cnf::new(3);
+        let (s, stats) = simplify_cnf(&cnf);
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(stats, SimplifyStats::default());
+    }
+}

@@ -1,0 +1,1038 @@
+//! The CDCL search engine.
+
+use presat_logic::{Assignment, Cnf, Lit, Var};
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::heap::VarHeap;
+use crate::types::{Lbool, SolveResult, SolverStats};
+
+/// A watch-list entry: the clause plus a *blocker* literal whose satisfaction
+/// lets propagation skip the clause without touching its literal array.
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 100;
+
+/// An incremental CDCL SAT solver.
+///
+/// Construct with [`Solver::new`] or [`Solver::from_cnf`], add clauses with
+/// [`Solver::add_clause`], and query with [`Solver::solve`] or
+/// [`Solver::solve_with_assumptions`]. Clauses may be added between queries;
+/// learnt clauses are retained across queries, which is what makes the
+/// all-solutions engines built on top of this solver efficient.
+///
+/// # Examples
+///
+/// ```
+/// use presat_logic::{Lit, Var};
+/// use presat_sat::Solver;
+///
+/// let mut s = Solver::new(2);
+/// let a = Lit::pos(Var::new(0));
+/// let b = Lit::pos(Var::new(1));
+/// s.add_clause([a, b]);
+/// s.add_clause([!a, b]);
+/// let result = s.solve();
+/// assert!(result.is_sat());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Solver {
+    db: ClauseDb,
+    /// Indexed by `lit.code()`: watchers of clauses that must be inspected
+    /// when `lit` becomes **true** (they watch `!lit`).
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<Lbool>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    order: VarHeap,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    phase: Vec<bool>,
+    /// `false` once the clause set is contradictory at level 0.
+    ok: bool,
+    seen: Vec<bool>,
+    core: Vec<Lit>,
+    stats: SolverStats,
+    max_learnts: usize,
+    conflict_budget: Option<u64>,
+}
+
+impl Solver {
+    /// Creates a solver over `num_vars` variables and no clauses.
+    pub fn new(num_vars: usize) -> Self {
+        let mut s = Solver {
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            order: VarHeap::new(0),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            phase: Vec::new(),
+            ok: true,
+            seen: Vec::new(),
+            core: Vec::new(),
+            stats: SolverStats::default(),
+            max_learnts: 4000,
+            conflict_budget: None,
+        };
+        s.grow_to(num_vars);
+        s
+    }
+
+    /// Creates a solver preloaded with all clauses of `cnf`.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = Solver::new(cnf.num_vars());
+        for clause in cnf.clauses() {
+            s.add_clause(clause.iter().copied());
+        }
+        s
+    }
+
+    /// Number of variables in the solver's variable space.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn add_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars());
+        self.grow_to(v.index() + 1);
+        v
+    }
+
+    /// Accumulated search statistics.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// The subset of the most recent call's assumptions proven jointly
+    /// inconsistent with the formula (empty if the formula itself is
+    /// unsatisfiable, or if the last call was satisfiable).
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.core
+    }
+
+    /// Limits the *next* solve calls to roughly `conflicts` conflicts; when
+    /// exhausted the solve returns `Unsat`... never — instead it would be
+    /// wrong to conflate budget exhaustion with UNSAT, so exhaustion panics
+    /// in debug and is surfaced via [`Solver::budget_exhausted`]. Pass
+    /// `None` to remove the limit.
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.conflict_budget = conflicts.map(|c| self.stats.conflicts + c);
+    }
+
+    /// `true` if the previous solve stopped because the conflict budget ran
+    /// out (in which case its `Unsat` answer is *inconclusive*).
+    pub fn budget_exhausted(&self) -> bool {
+        matches!(self.conflict_budget, Some(limit) if self.stats.conflicts >= limit)
+    }
+
+    fn grow_to(&mut self, num_vars: usize) {
+        while self.assigns.len() < num_vars {
+            self.assigns.push(Lbool::Undef);
+            self.levels.push(0);
+            self.reasons.push(None);
+            self.activity.push(0.0);
+            self.phase.push(false);
+            self.seen.push(false);
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+            self.order.grow(self.assigns.len());
+            self.order
+                .insert(Var::new(self.assigns.len() - 1), &self.activity);
+        }
+    }
+
+    /// Current value of a literal.
+    #[inline]
+    fn lit_value(&self, lit: Lit) -> Lbool {
+        let v = self.assigns[lit.var().index()];
+        if lit.is_pos() {
+            v
+        } else {
+            !v
+        }
+    }
+
+    /// Current value of a variable (exposed for diagnostics and tests).
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.assigns[var.index()].to_option()
+    }
+
+    #[inline]
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Adds a clause; returns `false` if the clause set is now known
+    /// unsatisfiable at level 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the solver is mid-search (it never is through
+    /// the public API) or if a literal references an unknown variable —
+    /// grow the space with [`Solver::add_var`] first.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for &l in &lits {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} outside solver variable space"
+            );
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / level-0 simplification.
+        let mut simplified = Vec::with_capacity(lits.len());
+        for (i, &l) in lits.iter().enumerate() {
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return true; // tautological clause: x ∨ ¬x
+            }
+            match self.lit_value(l) {
+                Lbool::True => return true, // already satisfied at level 0
+                Lbool::False => {}          // drop falsified literal
+                Lbool::Undef => simplified.push(l),
+            }
+        }
+        self.stats.problem_clauses += 1;
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                let cref = self.db.alloc(simplified, false, 0);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(cref);
+            debug_assert!(c.lits.len() >= 2);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).code()].push(Watcher {
+            cref,
+            blocker: l1,
+        });
+        self.watches[(!l1).code()].push(Watcher {
+            cref,
+            blocker: l0,
+        });
+    }
+
+    #[inline]
+    fn enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert!(self.lit_value(lit).is_undef());
+        let v = lit.var().index();
+        self.assigns[v] = Lbool::from_bool(lit.is_pos());
+        self.levels[v] = self.decision_level() as u32;
+        self.reasons[v] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation; returns the conflicting clause if one arises.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                // Fast path: blocker already satisfied.
+                if self.lit_value(w.blocker) == Lbool::True {
+                    i += 1;
+                    continue;
+                }
+                if self.db.get(w.cref).deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                let false_lit = !p;
+                // Normalize: watched false literal at position 1.
+                {
+                    let c = self.db.get_mut(w.cref);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.db.get(w.cref).lits[0];
+                if first != w.blocker && self.lit_value(first) == Lbool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut replaced = false;
+                let len = self.db.get(w.cref).lits.len();
+                for k in 2..len {
+                    let lk = self.db.get(w.cref).lits[k];
+                    if self.lit_value(lk) != Lbool::False {
+                        let c = self.db.get_mut(w.cref);
+                        c.lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        replaced = true;
+                        break;
+                    }
+                }
+                if replaced {
+                    continue;
+                }
+                // Clause is unit or conflicting under the current trail.
+                if self.lit_value(first) == Lbool::False {
+                    // Conflict: put the remaining watchers back and bail.
+                    self.watches[p.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(w.cref);
+                }
+                self.enqueue(first, Some(w.cref));
+                i += 1;
+            }
+            self.watches[p.code()] = ws;
+        }
+        None
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        for idx in (bound..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let v = lit.var();
+            self.phase[v.index()] = lit.is_pos();
+            self.assigns[v.index()] = Lbool::Undef;
+            self.reasons[v.index()] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        let a = &mut self.activity[var.index()];
+        *a += self.var_inc;
+        if *a > RESCALE_LIMIT {
+            for act in &mut self.activity {
+                *act *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.order.update(var, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+        self.cla_inc /= CLAUSE_DECAY;
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let inc = self.cla_inc;
+        let c = self.db.get_mut(cref);
+        c.activity += inc;
+        if c.activity > RESCALE_LIMIT {
+            let learnts = self.db.learnts.clone();
+            for l in learnts {
+                self.db.get_mut(l).activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first), the backtrack level, and the clause's LBD.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, usize, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for UIP
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = conflict;
+
+        loop {
+            if self.db.get(confl).learnt {
+                self.bump_clause(confl);
+            }
+            let start = usize::from(p.is_some());
+            let clause_lits: Vec<Lit> = self.db.get(confl).lits[start..].to_vec();
+            for q in clause_lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.levels[v.index()] > 0 {
+                    self.bump_var(v);
+                    self.seen[v.index()] = true;
+                    if self.levels[v.index()] as usize >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            p = Some(pl);
+            if path_count == 0 {
+                break;
+            }
+            confl = self.reasons[pl.var().index()]
+                .expect("non-decision literal on conflict path must have a reason");
+        }
+        learnt[0] = !p.expect("analysis visits at least one literal");
+
+        // Conflict-clause minimization (local): drop literals implied by the
+        // rest of the clause through their reasons.
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.literal_redundant(l))
+            .collect();
+        let mut minimized: Vec<Lit> = learnt
+            .iter()
+            .zip(&keep)
+            .filter_map(|(&l, &k)| k.then_some(l))
+            .collect();
+
+        // Clear seen flags for everything we marked.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Position the literal with the highest level (after the UIP) second
+        // and derive the backtrack level.
+        let bt_level = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.levels[minimized[i].var().index()]
+                    > self.levels[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.levels[minimized[1].var().index()] as usize
+        };
+
+        // LBD = number of distinct decision levels in the clause.
+        let mut lvls: Vec<u32> = minimized
+            .iter()
+            .map(|l| self.levels[l.var().index()])
+            .collect();
+        lvls.sort_unstable();
+        lvls.dedup();
+        let lbd = lvls.len() as u32;
+
+        (minimized, bt_level, lbd)
+    }
+
+    /// `true` if `lit` in a learnt clause is implied by the other marked
+    /// literals (all antecedents of its reason are already seen or level 0).
+    fn literal_redundant(&self, lit: Lit) -> bool {
+        let v = lit.var().index();
+        let Some(reason) = self.reasons[v] else {
+            return false;
+        };
+        self.db.get(reason).lits[1..].iter().all(|&q| {
+            let qv = q.var().index();
+            self.seen[qv] || self.levels[qv] == 0
+        })
+    }
+
+    /// Computes the failed-assumption core after assumption `p` was found
+    /// falsified.
+    fn analyze_final(&mut self, p: Lit) {
+        self.core.clear();
+        self.core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[idx];
+            let xv = x.var().index();
+            if !self.seen[xv] {
+                continue;
+            }
+            match self.reasons[xv] {
+                None => {
+                    // A decision in the assumption prefix is an assumption.
+                    self.core.push(x);
+                }
+                Some(r) => {
+                    for &q in &self.db.get(r).lits[1..] {
+                        if self.levels[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[xv] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    fn reduce_db(&mut self) {
+        self.db.sweep_learnt_index();
+        let mut order: Vec<ClauseRef> = self.db.learnts.clone();
+        // Worst first: high LBD, then low activity.
+        order.sort_by(|&a, &b| {
+            let (ca, cb) = (self.db.get(a), self.db.get(b));
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).expect("no NaN"))
+        });
+        let target = order.len() / 2;
+        let mut removed = 0;
+        for cref in order {
+            if removed >= target {
+                break;
+            }
+            let c = self.db.get(cref);
+            if c.deleted || c.lbd <= 2 || c.lits.len() <= 2 || self.is_locked(cref) {
+                continue;
+            }
+            self.db.delete(cref);
+            removed += 1;
+            self.stats.deleted_clauses += 1;
+        }
+        self.db.sweep_learnt_index();
+        self.stats.learnt_clauses = self.db.live_learnts() as u64;
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.db.get(cref).lits[0];
+        self.lit_value(first) == Lbool::True && self.reasons[first.var().index()] == Some(cref)
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v.index()].is_undef() {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Decides whether the formula is satisfiable.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Decides satisfiability under the given assumption literals.
+    ///
+    /// On `Unsat`, [`Solver::unsat_core`] holds the subset of `assumptions`
+    /// that participated in the refutation. The solver remains usable — the
+    /// assumptions are retracted, not asserted.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        self.core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let mut restarts_this_call = 0u64;
+        let result = loop {
+            let conflict_limit = RESTART_BASE * luby(2, restarts_this_call);
+            match self.search(conflict_limit, assumptions) {
+                SearchOutcome::Sat => {
+                    let model = self.extract_model();
+                    break SolveResult::Sat(model);
+                }
+                SearchOutcome::Unsat => break SolveResult::Unsat,
+                SearchOutcome::Restart => {
+                    restarts_this_call += 1;
+                    self.stats.restarts += 1;
+                }
+                SearchOutcome::BudgetExhausted => break SolveResult::Unsat,
+            }
+        };
+        self.cancel_until(0);
+        result
+    }
+
+    fn extract_model(&self) -> Assignment {
+        let mut m = Assignment::new(self.num_vars());
+        for (i, &v) in self.assigns.iter().enumerate() {
+            match v {
+                Lbool::True => m.assign(Var::new(i), true),
+                Lbool::False => m.assign(Var::new(i), false),
+                // Variables untouched by any clause or decision default to
+                // false so that models are always total.
+                Lbool::Undef => m.assign(Var::new(i), false),
+            }
+        }
+        m
+    }
+
+    fn search(&mut self, conflict_limit: u64, assumptions: &[Lit]) -> SearchOutcome {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt_level, lbd) = self.analyze(confl);
+                // Never backtrack above level 0; assumption levels get
+                // re-established by the decision loop below.
+                self.cancel_until(bt_level);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], None);
+                } else {
+                    let cref = self.db.alloc(learnt.clone(), true, lbd);
+                    self.attach(cref);
+                    self.stats.learnt_clauses += 1;
+                    self.bump_clause(cref);
+                    self.enqueue(learnt[0], Some(cref));
+                }
+                self.decay_activities();
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts >= budget {
+                        self.cancel_until(0);
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
+                if self.db.live_learnts() > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts += self.max_learnts / 10;
+                }
+            } else {
+                // No conflict.
+                if conflicts_here >= conflict_limit && self.decision_level() > assumptions.len() {
+                    self.cancel_until(assumptions.len().min(self.decision_level()));
+                    return SearchOutcome::Restart;
+                }
+                // Establish assumptions one level at a time.
+                if self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    assert!(
+                        p.var().index() < self.num_vars(),
+                        "assumption {p} outside solver variable space"
+                    );
+                    match self.lit_value(p) {
+                        Lbool::True => {
+                            // Already implied: dummy level keeps alignment.
+                            self.new_decision_level();
+                        }
+                        Lbool::False => {
+                            self.analyze_final(p);
+                            return SearchOutcome::Unsat;
+                        }
+                        Lbool::Undef => {
+                            self.new_decision_level();
+                            self.enqueue(p, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SearchOutcome::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.new_decision_level();
+                        let lit = Lit::with_phase(v, self.phase[v.index()]);
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs unit propagation under `assumptions` without search and
+    /// returns the implied partial assignment (including the assumptions
+    /// and all level-0 facts), or `None` if propagation alone derives a
+    /// conflict. The solver state is fully restored afterwards.
+    ///
+    /// This is the cheap consequence oracle used by the success-driven
+    /// all-SAT engine to compute subspace signatures.
+    pub fn propagate_under(&mut self, assumptions: &[Lit]) -> Option<Assignment> {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok || self.propagate().is_some() {
+            self.ok = false;
+            return None;
+        }
+        let mut failed = false;
+        for &p in assumptions {
+            assert!(
+                p.var().index() < self.num_vars(),
+                "assumption {p} outside solver variable space"
+            );
+            match self.lit_value(p) {
+                Lbool::True => continue,
+                Lbool::False => {
+                    failed = true;
+                    break;
+                }
+                Lbool::Undef => {
+                    self.new_decision_level();
+                    self.enqueue(p, None);
+                    if self.propagate().is_some() {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let result = if failed {
+            None
+        } else {
+            let mut a = Assignment::new(self.num_vars());
+            for (i, &v) in self.assigns.iter().enumerate() {
+                if let Some(b) = v.to_option() {
+                    a.assign(Var::new(i), b);
+                }
+            }
+            Some(a)
+        };
+        self.cancel_until(0);
+        result
+    }
+
+    /// Asserts `lit` permanently (a unit clause).
+    pub fn assume_permanently(&mut self, lit: Lit) -> bool {
+        self.add_clause([lit])
+    }
+
+    /// `true` while the clause set has not been refuted at level 0.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    BudgetExhausted,
+}
+
+/// The Luby sequence scaled by `y`: 1,1,2,1,1,2,4,… (reluctant doubling).
+fn luby(y: u64, mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    y.pow(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presat_logic::truth_table;
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::with_phase(Var::new(v), pos)
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let prefix: Vec<u64> = (0..15).map(|i| luby(2, i)).collect();
+        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new(1);
+        s.add_clause([lit(0, true)]);
+        let m = s.solve().into_model().expect("sat");
+        assert_eq!(m.value(Var::new(0)), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new(1);
+        s.add_clause([lit(0, true)]);
+        assert!(!s.add_clause([lit(0, false)]));
+        assert!(matches!(s.solve(), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new(1);
+        assert!(!s.add_clause([]));
+        assert!(matches!(s.solve(), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn no_clauses_sat() {
+        let mut s = Solver::new(3);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn tautological_clause_ignored() {
+        let mut s = Solver::new(1);
+        assert!(s.add_clause([lit(0, true), lit(0, false)]));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        // Pigeonhole-ish small instance: 3 vars, random-ish clauses.
+        let mut cnf = presat_logic::Cnf::new(3);
+        cnf.add_clause([lit(0, true), lit(1, true), lit(2, true)]);
+        cnf.add_clause([lit(0, false), lit(1, false)]);
+        cnf.add_clause([lit(1, false), lit(2, false)]);
+        cnf.add_clause([lit(0, false), lit(2, false)]);
+        let mut s = Solver::from_cnf(&cnf);
+        let m = s.solve().into_model().expect("sat");
+        assert!(cnf.is_satisfied_by(&m));
+    }
+
+    #[test]
+    fn php_3_into_2_is_unsat() {
+        // Pigeonhole principle PHP(3,2): vars p_{i,j} i∈0..3 pigeons, j∈0..2.
+        let var = |i: usize, j: usize| Var::new(i * 2 + j);
+        let mut s = Solver::new(6);
+        for i in 0..3 {
+            s.add_clause([Lit::pos(var(i, 0)), Lit::pos(var(i, 1))]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([Lit::neg(var(i1, j)), Lit::neg(var(i2, j))]);
+                }
+            }
+        }
+        assert!(matches!(s.solve(), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn assumptions_are_retracted() {
+        let mut s = Solver::new(2);
+        s.add_clause([lit(0, true), lit(1, true)]);
+        assert!(matches!(
+            s.solve_with_assumptions(&[lit(0, false), lit(1, false)]),
+            SolveResult::Unsat
+        ));
+        // Solver still usable and satisfiable without the assumptions.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn unsat_core_is_subset_of_assumptions() {
+        let mut s = Solver::new(3);
+        s.add_clause([lit(0, false), lit(1, false)]); // ¬a ∨ ¬b
+        let r = s.solve_with_assumptions(&[lit(2, true), lit(0, true), lit(1, true)]);
+        assert!(matches!(r, SolveResult::Unsat));
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        for l in &core {
+            assert!([lit(2, true), lit(0, true), lit(1, true)].contains(l));
+        }
+        // x2 is irrelevant to the conflict.
+        assert!(!core.contains(&lit(2, true)));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new(2);
+        s.add_clause([lit(0, true), lit(1, true)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([lit(0, false)]);
+        s.add_clause([lit(1, false)]);
+        assert!(matches!(s.solve(), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn agrees_with_truth_table_on_random_3sat() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for round in 0..60 {
+            let n = 6 + round % 4; // 6..9 vars
+            let m = (n as f64 * (2.0 + (round % 5) as f64 * 0.7)) as usize;
+            let mut cnf = presat_logic::Cnf::new(n);
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.gen_range(0..n);
+                    c.push(lit(v, rng.gen_bool(0.5)));
+                }
+                cnf.add_clause(c);
+            }
+            let expected = truth_table::is_satisfiable(&cnf);
+            let mut s = Solver::from_cnf(&cnf);
+            let got = s.solve();
+            assert_eq!(got.is_sat(), expected, "divergence on round {round}");
+            if let SolveResult::Sat(m) = got {
+                assert!(cnf.is_satisfied_by(&m), "bogus model on round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_assumption_solves_agree_with_oracle() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 8;
+        let mut cnf = presat_logic::Cnf::new(n);
+        for _ in 0..20 {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                c.push(lit(rng.gen_range(0..n), rng.gen_bool(0.5)));
+            }
+            cnf.add_clause(c);
+        }
+        let mut s = Solver::from_cnf(&cnf);
+        for _ in 0..30 {
+            let k = rng.gen_range(0..4);
+            let mut assumptions = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            for _ in 0..k {
+                let v = rng.gen_range(0..n);
+                if used.insert(v) {
+                    assumptions.push(lit(v, rng.gen_bool(0.5)));
+                }
+            }
+            // Oracle: conjoin unit clauses.
+            let mut augmented = cnf.clone();
+            for &a in &assumptions {
+                augmented.add_unit(a);
+            }
+            let expected = truth_table::is_satisfiable(&augmented);
+            let got = s.solve_with_assumptions(&assumptions);
+            assert_eq!(got.is_sat(), expected);
+            if let SolveResult::Sat(m) = got {
+                assert!(augmented.is_satisfied_by(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_assumptions_ok() {
+        let mut s = Solver::new(2);
+        s.add_clause([lit(0, true), lit(1, true)]);
+        let r = s.solve_with_assumptions(&[lit(0, true), lit(0, true)]);
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new(2);
+        s.add_clause([lit(0, true), lit(1, true)]);
+        let _ = s.solve();
+        let _ = s.solve();
+        assert_eq!(s.stats().solves, 2);
+    }
+
+    #[test]
+    fn large_chain_propagates() {
+        // x0 and a chain of implications x_i → x_{i+1}: forces all true.
+        let n = 2000;
+        let mut s = Solver::new(n);
+        s.add_clause([lit(0, true)]);
+        for i in 0..n - 1 {
+            s.add_clause([lit(i, false), lit(i + 1, true)]);
+        }
+        let m = s.solve().into_model().expect("sat");
+        for i in 0..n {
+            assert_eq!(m.value(Var::new(i)), Some(true));
+        }
+    }
+
+    #[test]
+    fn propagate_under_derives_implications() {
+        let mut s = Solver::new(3);
+        s.add_clause([lit(0, false), lit(1, true)]); // x0 → x1
+        s.add_clause([lit(1, false), lit(2, true)]); // x1 → x2
+        let a = s.propagate_under(&[lit(0, true)]).expect("no conflict");
+        assert_eq!(a.value(Var::new(0)), Some(true));
+        assert_eq!(a.value(Var::new(1)), Some(true));
+        assert_eq!(a.value(Var::new(2)), Some(true));
+        // State restored: nothing is assigned at level 0.
+        assert_eq!(s.value(Var::new(1)), None);
+        // And the solver still solves normally.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn propagate_under_reports_conflict() {
+        let mut s = Solver::new(2);
+        s.add_clause([lit(0, false), lit(1, true)]);
+        s.add_clause([lit(0, false), lit(1, false)]);
+        assert!(s.propagate_under(&[lit(0, true)]).is_none());
+        // Non-conflicting assumptions still work afterwards.
+        assert!(s.propagate_under(&[lit(0, false)]).is_some());
+    }
+
+    #[test]
+    fn propagate_under_includes_level0_facts() {
+        let mut s = Solver::new(2);
+        s.add_clause([lit(1, true)]);
+        let a = s.propagate_under(&[]).expect("no conflict");
+        assert_eq!(a.value(Var::new(1)), Some(true));
+        assert_eq!(a.value(Var::new(0)), None);
+    }
+
+    #[test]
+    fn unsat_core_of_plain_unsat_formula_is_empty() {
+        let mut s = Solver::new(1);
+        s.add_clause([lit(0, true)]);
+        s.add_clause([lit(0, false)]);
+        let _ = s.solve_with_assumptions(&[]);
+        assert!(s.unsat_core().is_empty());
+    }
+}

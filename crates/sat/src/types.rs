@@ -1,0 +1,168 @@
+use std::fmt;
+use std::ops::Not;
+
+use presat_logic::Assignment;
+
+/// Three-valued truth assignment used inside the solver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Lbool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not yet assigned.
+    #[default]
+    Undef,
+}
+
+impl Lbool {
+    /// Lifts a `bool` into the lattice.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Lbool::True
+        } else {
+            Lbool::False
+        }
+    }
+
+    /// `Some(value)` if assigned, `None` otherwise.
+    #[inline]
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            Lbool::True => Some(true),
+            Lbool::False => Some(false),
+            Lbool::Undef => None,
+        }
+    }
+
+    /// `true` if unassigned.
+    #[inline]
+    pub fn is_undef(self) -> bool {
+        self == Lbool::Undef
+    }
+}
+
+impl Not for Lbool {
+    type Output = Lbool;
+
+    #[inline]
+    fn not(self) -> Lbool {
+        match self {
+            Lbool::True => Lbool::False,
+            Lbool::False => Lbool::True,
+            Lbool::Undef => Lbool::Undef,
+        }
+    }
+}
+
+impl fmt::Display for Lbool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lbool::True => write!(f, "1"),
+            Lbool::False => write!(f, "0"),
+            Lbool::Undef => write!(f, "?"),
+        }
+    }
+}
+
+/// Outcome of a [`crate::Solver`] query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// Satisfiable, with a total model over the solver's variable space.
+    Sat(Assignment),
+    /// Unsatisfiable (under the given assumptions, if any were passed).
+    Unsat,
+}
+
+impl SolveResult {
+    /// `true` for the [`SolveResult::Sat`] variant.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Consumes the result, returning the model if satisfiable.
+    pub fn into_model(self) -> Option<Assignment> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+}
+
+/// Running counters describing the work a solver has done; useful for the
+/// benchmark tables and for regression tests on search behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SolverStats {
+    /// Number of top-level `solve*` calls.
+    pub solves: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Number of problem (non-learnt) clauses added.
+    pub problem_clauses: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solves={} decisions={} propagations={} conflicts={} restarts={} learnts={} deleted={}",
+            self.solves,
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learnt_clauses,
+            self.deleted_clauses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lbool_negation() {
+        assert_eq!(!Lbool::True, Lbool::False);
+        assert_eq!(!Lbool::False, Lbool::True);
+        assert_eq!(!Lbool::Undef, Lbool::Undef);
+    }
+
+    #[test]
+    fn lbool_round_trip() {
+        assert_eq!(Lbool::from_bool(true).to_option(), Some(true));
+        assert_eq!(Lbool::from_bool(false).to_option(), Some(false));
+        assert_eq!(Lbool::Undef.to_option(), None);
+        assert!(Lbool::Undef.is_undef());
+    }
+
+    #[test]
+    fn solve_result_accessors() {
+        let m = Assignment::from_bits(0b1, 1);
+        let sat = SolveResult::Sat(m.clone());
+        assert!(sat.is_sat());
+        assert_eq!(sat.model(), Some(&m));
+        assert_eq!(sat.into_model(), Some(m));
+        assert!(!SolveResult::Unsat.is_sat());
+        assert_eq!(SolveResult::Unsat.model(), None);
+    }
+}

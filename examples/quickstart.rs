@@ -1,0 +1,54 @@
+//! Quickstart: compute one preimage three ways and check they agree.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use presat::circuit::generators;
+use presat::preimage::{BddPreimage, PreimageEngine, SatPreimage, StateSet};
+
+fn main() {
+    // An 8-bit binary counter with an enable input: s' = en ? s + 1 : s.
+    let circuit = generators::counter(8, true);
+    println!("circuit: {}", circuit.summary());
+
+    // Target: the counter reads 0x2A next cycle.
+    let target = StateSet::from_state_bits(0x2A, 8);
+    println!("target : state 0x2A\n");
+
+    let engines: Vec<Box<dyn PreimageEngine>> = vec![
+        Box::new(SatPreimage::blocking()),
+        Box::new(SatPreimage::min_blocking()),
+        Box::new(SatPreimage::success_driven()),
+        Box::new(BddPreimage::substitution()),
+    ];
+
+    let mut sizes = Vec::new();
+    for engine in &engines {
+        let result = engine.preimage(&circuit, &target);
+        let count = result.states.minterm_count(8);
+        println!(
+            "{:<24} {:>4} states in {:>3} cubes   [{}]   {:?}",
+            engine.name(),
+            count,
+            result.states.num_cubes(),
+            result.stats,
+            result.elapsed
+        );
+        sizes.push(count);
+    }
+    assert!(
+        sizes.windows(2).all(|w| w[0] == w[1]),
+        "engines disagree on the preimage size"
+    );
+
+    // With enable, 0x2A is reachable from 0x29 (en=1) and 0x2A (en=0).
+    println!("\npredecessor states: 0x29 (enable high) and 0x2A (enable low)");
+    let sd = SatPreimage::success_driven().preimage(&circuit, &target);
+    assert!(sd.states.contains_bits(0x29, 8));
+    assert!(sd.states.contains_bits(0x2A, 8));
+    assert_eq!(sd.states.minterm_count(8), 2);
+    println!("all engines agree ✓");
+}

@@ -1,0 +1,408 @@
+//! The `presat` command-line tool.
+//!
+//! ```text
+//! presat solve <file.cnf>                          SAT-solve a DIMACS file
+//! presat allsat <file.cnf> --project <k>           enumerate models projected
+//!                                                  onto variables 1..k
+//! presat info <circuit>                            circuit summary
+//! presat preimage <circuit> --target <spec>        one-step preimage
+//! presat image <circuit> --source <spec>           one-step forward image
+//! presat reach <circuit> --target <spec>           backward reachability
+//! presat justify <circuit> --from <bits> --target <spec>
+//!                                                  extract an input trace
+//! presat excite <circuit> --output <k> [--value 0|1]
+//!                                                  output excitation set
+//! ```
+//!
+//! `<circuit>` is a `.bench` (ISCAS89) or `.aag` (ASCII AIGER) file.
+//! `<spec>` is either a bit pattern (`0b1010` / decimal) naming one state,
+//! or a cube `latch=value,...` such as `3=1,0=0` (unlisted latches free).
+//! `--engine` selects `blocking`, `min-blocking`, `success-driven`
+//! (default), `bdd-sub`, or `bdd-mono` where applicable.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use presat::allsat::{
+    AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, SuccessDrivenAllSat,
+};
+use presat::circuit::{aiger, bench, Circuit};
+use presat::logic::{dimacs, Var};
+use presat::preimage::{
+    backward_reach, bdd_image, justify, sat_image, BddPreimage, PreimageEngine, ReachOptions,
+    SatPreimage, StateSet,
+};
+use presat::sat::{SolveResult, Solver};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "solve" => cmd_solve(rest),
+        "allsat" => cmd_allsat(rest),
+        "info" => cmd_info(rest),
+        "preimage" => cmd_preimage(rest),
+        "image" => cmd_image(rest),
+        "reach" => cmd_reach(rest),
+        "justify" => cmd_justify(rest),
+        "excite" => cmd_excite(rest),
+        "depth" => cmd_depth(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}; try `presat help`")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: presat <command> [options]\n\
+         commands:\n\
+         \x20 solve <file.cnf>                         decide satisfiability\n\
+         \x20 allsat <file.cnf> --project <k>          enumerate projected models\n\
+         \x20 info <circuit>                           circuit summary\n\
+         \x20 preimage <circuit> --target <spec>       one-step preimage\n\
+         \x20 image <circuit> --source <spec>          one-step forward image\n\
+         \x20 reach <circuit> --target <spec>          backward reachability\n\
+         \x20 justify <circuit> --from <bits> --target <spec>\n\
+         \x20 excite <circuit> --output <k> [--value 0|1]\n\
+         \x20 depth <circuit> [--initial <spec>]\n\
+         options: --engine blocking|min-blocking|success-driven|bdd-sub|bdd-mono\n\
+         \x20        --max-iter <n>\n\
+         spec:    a state bit pattern (42, 0b1010, 0x2a) or a cube `j=v,...`"
+    );
+}
+
+/// Fetches the value following a `--flag`.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_bits(text: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else if let Some(bin) = text.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2)
+    } else {
+        text.parse()
+    };
+    parsed.map_err(|_| format!("invalid state bits {text:?}"))
+}
+
+/// Parses a state-set spec: a bit pattern or `latch=value,...`.
+fn parse_state_spec(text: &str, num_latches: usize) -> Result<StateSet, String> {
+    if text.contains('=') {
+        let mut fixed = Vec::new();
+        for part in text.split(',') {
+            let (j, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad cube component {part:?}"))?;
+            let j: usize = j.trim().parse().map_err(|_| format!("bad latch index {j:?}"))?;
+            if j >= num_latches {
+                return Err(format!("latch {j} out of range (circuit has {num_latches})"));
+            }
+            let v = match v.trim() {
+                "0" => false,
+                "1" => true,
+                other => return Err(format!("bad latch value {other:?} (want 0/1)")),
+            };
+            fixed.push((j, v));
+        }
+        Ok(StateSet::from_partial(&fixed))
+    } else {
+        let bits = parse_bits(text)?;
+        if num_latches < 64 && bits >= 1u64 << num_latches {
+            return Err(format!("state {bits} out of range for {num_latches} latches"));
+        }
+        Ok(StateSet::from_state_bits(bits, num_latches))
+    }
+}
+
+fn load_circuit(path: &str) -> Result<Circuit, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let mut circuit = match ext {
+        "aag" => aiger::parse(&text).map_err(|e| format!("{path}: {e}"))?,
+        _ => bench::parse(&text).map_err(|e| format!("{path}: {e}"))?,
+    };
+    if let Some(stem) = Path::new(path).file_stem().and_then(|s| s.to_str()) {
+        circuit.set_name(stem);
+    }
+    circuit.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(circuit)
+}
+
+fn sat_engine_from_flag(args: &[String]) -> Result<Box<dyn PreimageEngine>, String> {
+    Ok(match flag_value(args, "--engine").unwrap_or("success-driven") {
+        "blocking" => Box::new(SatPreimage::blocking()),
+        "min-blocking" => Box::new(SatPreimage::min_blocking()),
+        "success-driven" => Box::new(SatPreimage::success_driven()),
+        "bdd-sub" => Box::new(BddPreimage::substitution()),
+        "bdd-mono" => Box::new(BddPreimage::monolithic()),
+        other => return Err(format!("unknown engine {other:?}")),
+    })
+}
+
+fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("solve: missing DIMACS file")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let cnf = dimacs::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut solver = Solver::from_cnf(&cnf);
+    match solver.solve() {
+        SolveResult::Sat(model) => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for i in 0..cnf.num_vars() {
+                let value = model.value(Var::new(i)) == Some(true);
+                line.push_str(&format!(" {}", if value { (i + 1) as i64 } else { -((i + 1) as i64) }));
+            }
+            println!("{line} 0");
+            Ok(ExitCode::from(10)) // SAT-competition convention
+        }
+        SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            Ok(ExitCode::from(20))
+        }
+    }
+}
+
+fn cmd_allsat(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("allsat: missing DIMACS file")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let cnf = dimacs::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let k: usize = flag_value(args, "--project")
+        .ok_or("allsat: --project <k> required")?
+        .parse()
+        .map_err(|_| "allsat: --project expects a number")?;
+    if k > cnf.num_vars() {
+        return Err(format!(
+            "allsat: --project {k} exceeds the formula's {} variables",
+            cnf.num_vars()
+        ));
+    }
+    let important: Vec<Var> = Var::range(k).collect();
+    let problem = AllSatProblem::new(cnf, important.clone());
+    let engine_name = flag_value(args, "--engine").unwrap_or("success-driven");
+    let result = match engine_name {
+        "blocking" => BlockingAllSat::new().enumerate(&problem),
+        "min-blocking" => MinimizedBlockingAllSat::new().enumerate(&problem),
+        "success-driven" => SuccessDrivenAllSat::new().enumerate(&problem),
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    println!(
+        "c {} cubes, {} minterms over {} variables [{}]",
+        result.cubes.len(),
+        result.minterm_count(k),
+        k,
+        result.stats
+    );
+    for cube in &result.cubes {
+        let mut row = String::new();
+        for &l in cube.lits() {
+            let v = l.var().index() as i64 + 1;
+            row.push_str(&format!("{} ", if l.is_pos() { v } else { -v }));
+        }
+        println!("{row}0");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("info: missing circuit file")?;
+    let circuit = load_circuit(path)?;
+    println!("{}", circuit.summary());
+    for (k, (name, _)) in circuit.outputs().iter().enumerate() {
+        println!("  output {k}: {name}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_preimage(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("preimage: missing circuit file")?;
+    let circuit = load_circuit(path)?;
+    let n = circuit.num_latches();
+    let target = parse_state_spec(
+        flag_value(args, "--target").ok_or("preimage: --target <spec> required")?,
+        n,
+    )?;
+    let engine = sat_engine_from_flag(args)?;
+    let result = engine.preimage(&circuit, &target);
+    println!(
+        "{}: {} states in {} cubes [{}] in {:.2?}",
+        engine.name(),
+        result.states.minterm_count(n),
+        result.states.num_cubes(),
+        result.stats,
+        result.elapsed
+    );
+    for cube in result.states.cubes() {
+        println!("  {cube}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_image(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("image: missing circuit file")?;
+    let circuit = load_circuit(path)?;
+    let n = circuit.num_latches();
+    let source = parse_state_spec(
+        flag_value(args, "--source").ok_or("image: --source <spec> required")?,
+        n,
+    )?;
+    let result = match flag_value(args, "--engine").unwrap_or("success-driven") {
+        "bdd-sub" | "bdd-mono" => bdd_image(&circuit, &source),
+        _ => sat_image(&circuit, &source),
+    };
+    println!(
+        "image: {} states in {} cubes in {:.2?}",
+        result.states.minterm_count(n),
+        result.states.num_cubes(),
+        result.elapsed
+    );
+    for cube in result.states.cubes() {
+        println!("  {cube}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("reach: missing circuit file")?;
+    let circuit = load_circuit(path)?;
+    let n = circuit.num_latches();
+    let target = parse_state_spec(
+        flag_value(args, "--target").ok_or("reach: --target <spec> required")?,
+        n,
+    )?;
+    let max_iterations = match flag_value(args, "--max-iter") {
+        Some(v) => Some(v.parse().map_err(|_| "reach: bad --max-iter")?),
+        None => None,
+    };
+    let engine = sat_engine_from_flag(args)?;
+    let report = backward_reach(
+        engine.as_ref(),
+        &circuit,
+        &target,
+        ReachOptions {
+            max_iterations,
+            ..ReachOptions::default()
+        },
+    );
+    println!(
+        "{}: {} iterations, {} backward-reachable states, converged={}",
+        engine.name(),
+        report.iterations.len(),
+        report.reached_states,
+        report.converged
+    );
+    for row in &report.iterations {
+        println!(
+            "  iter {:>3}: +{} states (total {}) in {:.2?}",
+            row.iteration, row.new_states, row.reached_states, row.elapsed
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_excite(args: &[String]) -> Result<ExitCode, String> {
+    use presat::preimage::excitation_set;
+    let path = args.first().ok_or("excite: missing circuit file")?;
+    let circuit = load_circuit(path)?;
+    let n = circuit.num_latches();
+    let k: usize = flag_value(args, "--output")
+        .ok_or("excite: --output <k> required")?
+        .parse()
+        .map_err(|_| "excite: bad --output index")?;
+    if k >= circuit.num_outputs() {
+        return Err(format!(
+            "excite: output {k} out of range ({} outputs)",
+            circuit.num_outputs()
+        ));
+    }
+    let value = match flag_value(args, "--value").unwrap_or("1") {
+        "0" => false,
+        "1" => true,
+        other => return Err(format!("excite: bad --value {other:?}")),
+    };
+    let result = excitation_set(&circuit, k, value);
+    println!(
+        "output {k} = {} excitable from {} states in {} cubes",
+        u8::from(value),
+        result.states.minterm_count(n),
+        result.states.num_cubes()
+    );
+    for cube in result.states.cubes() {
+        println!("  {cube}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_depth(args: &[String]) -> Result<ExitCode, String> {
+    use presat::preimage::sequential_depth;
+    let path = args.first().ok_or("depth: missing circuit file")?;
+    let circuit = load_circuit(path)?;
+    let n = circuit.num_latches();
+    let initial = match flag_value(args, "--initial") {
+        Some(spec) => parse_state_spec(spec, n)?,
+        None => StateSet::from_state_bits(0, n), // all-zero reset
+    };
+    let depth = sequential_depth(&circuit, &initial);
+    println!("sequential depth from the initial set: {depth}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_justify(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("justify: missing circuit file")?;
+    let circuit = load_circuit(path)?;
+    let n = circuit.num_latches();
+    let from = parse_bits(flag_value(args, "--from").ok_or("justify: --from <bits> required")?)?;
+    let target = parse_state_spec(
+        flag_value(args, "--target").ok_or("justify: --target <spec> required")?,
+        n,
+    )?;
+    let engine = sat_engine_from_flag(args)?;
+    match justify(engine.as_ref(), &circuit, from, &target) {
+        Some(trace) => {
+            println!("justifiable in {} cycles:", trace.len());
+            for (t, step) in trace.steps.iter().enumerate() {
+                println!(
+                    "  cycle {:>3}: state {:0width$b}  inputs {:0iwidth$b}  -> {:0width$b}",
+                    t,
+                    step.state,
+                    step.inputs,
+                    step.next_state,
+                    width = n,
+                    iwidth = circuit.num_inputs().max(1),
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            println!("target not reachable from state {from:0n$b}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! `presat` — an all-solutions SAT solver for efficient preimage
+//! computation.
+//!
+//! This umbrella crate re-exports the whole workspace under one roof:
+//!
+//! * [`logic`] — variables, literals, cubes, CNF, DIMACS, truth-table
+//!   oracle;
+//! * [`sat`] — the from-scratch incremental CDCL solver;
+//! * [`bdd`] — the from-scratch ROBDD package (baseline and oracle);
+//! * [`circuit`] — AIG netlists, `.bench` parsing, Tseitin encoding,
+//!   simulation, and the benchmark-circuit generators;
+//! * [`allsat`] — the all-solutions engines (blocking, minimized blocking,
+//!   and the novel success-driven solver with its solution graph);
+//! * [`preimage`] — preimage computation and backward reachability.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use presat::circuit::generators;
+//! use presat::preimage::{PreimageEngine, SatPreimage, StateSet};
+//!
+//! // Which states of a 4-bit counter step into state 9?
+//! let circuit = generators::counter(4, false);
+//! let target = StateSet::from_state_bits(9, 4);
+//! let pre = SatPreimage::success_driven().preimage(&circuit, &target);
+//! assert!(pre.states.contains_bits(8, 4));
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the reproduced evaluation.
+
+#![forbid(unsafe_code)]
+
+pub use presat_allsat as allsat;
+pub use presat_bdd as bdd;
+pub use presat_circuit as circuit;
+pub use presat_logic as logic;
+pub use presat_preimage as preimage;
+pub use presat_sat as sat;

@@ -1,0 +1,218 @@
+//! End-to-end tests of the `presat` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn presat(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_presat"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("presat-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(format!("{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const TOGGLE_BENCH: &str = "INPUT(en)\nOUTPUT(q)\ns = DFF(n)\nn = XOR(en, s)\nq = BUFF(s)\n";
+
+/// A 3-bit binary counter (`s' = s + 1`) in ASCII AIGER:
+/// latch 0 toggles, latch 1 xors with l0, latch 2 xors with the carry
+/// `l0 ∧ l1` (XOR spelled with three AND gates each).
+const COUNTER3_AAG: &str = "\
+aag 10 0 3 1 7
+2 3
+4 13
+6 21
+6
+8 2 5
+10 3 4
+12 9 11
+14 2 4
+16 6 15
+18 7 14
+20 17 19
+";
+
+#[test]
+fn solve_sat_instance() {
+    let cnf = write_temp("sat.cnf", "p cnf 2 2\n1 2 0\n-1 2 0\n");
+    let out = presat(&["solve", cnf.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(10));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("s SATISFIABLE"));
+    assert!(stdout.contains("v "));
+    // x2 must be true in every model.
+    assert!(stdout.contains(" 2 "));
+}
+
+#[test]
+fn solve_unsat_instance() {
+    let cnf = write_temp("unsat.cnf", "p cnf 1 2\n1 0\n-1 0\n");
+    let out = presat(&["solve", cnf.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(20));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s UNSATISFIABLE"));
+}
+
+#[test]
+fn allsat_projection() {
+    // (x1 ∨ x2) projected onto x1: both phases possible → 1 top cube? No:
+    // projection = {x1=0 (x2=1 completes), x1=1} = everything → 2 minterms.
+    let cnf = write_temp("allsat.cnf", "p cnf 2 1\n1 2 0\n");
+    let out = presat(&["allsat", cnf.to_str().unwrap(), "--project", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 minterms"), "{stdout}");
+}
+
+#[test]
+fn allsat_engine_flag() {
+    let cnf = write_temp("allsat2.cnf", "p cnf 3 1\n1 -2 3 0\n");
+    for engine in ["blocking", "min-blocking", "success-driven"] {
+        let out = presat(&[
+            "allsat",
+            cnf.to_str().unwrap(),
+            "--project",
+            "3",
+            "--engine",
+            engine,
+        ]);
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("7 minterms"), "{engine}: {stdout}");
+    }
+}
+
+#[test]
+fn info_reads_bench() {
+    let path = write_temp("toggle.bench", TOGGLE_BENCH);
+    let out = presat(&["info", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PI=1"));
+    assert!(stdout.contains("L=1"));
+}
+
+#[test]
+fn preimage_on_aiger_counter() {
+    let path = write_temp("cnt3.aag", COUNTER3_AAG);
+    let out = presat(&[
+        "preimage",
+        path.to_str().unwrap(),
+        "--target",
+        "5",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 states"), "{stdout}");
+}
+
+#[test]
+fn preimage_cube_target_and_engines() {
+    let path = write_temp("toggle2.bench", TOGGLE_BENCH);
+    for engine in ["blocking", "min-blocking", "success-driven", "bdd-sub", "bdd-mono"] {
+        let out = presat(&[
+            "preimage",
+            path.to_str().unwrap(),
+            "--target",
+            "0=1",
+            "--engine",
+            engine,
+        ]);
+        assert!(out.status.success(), "{engine}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // either state can step into s=1 (en chooses): 2 states
+        assert!(stdout.contains("2 states"), "{engine}: {stdout}");
+    }
+}
+
+#[test]
+fn reach_and_justify_on_counter() {
+    let path = write_temp("cnt3b.aag", COUNTER3_AAG);
+    let out = presat(&["reach", path.to_str().unwrap(), "--target", "0"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("8 backward-reachable states"), "{stdout}");
+
+    let out = presat(&[
+        "justify",
+        path.to_str().unwrap(),
+        "--from",
+        "3",
+        "--target",
+        "6",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("justifiable in 3 cycles"), "{stdout}");
+}
+
+#[test]
+fn image_command() {
+    let path = write_temp("cnt3c.aag", COUNTER3_AAG);
+    let out = presat(&["image", path.to_str().unwrap(), "--source", "7"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 states"), "{stdout}");
+}
+
+#[test]
+fn excite_command() {
+    let path = write_temp("toggle4.bench", TOGGLE_BENCH);
+    // q = s: excitable (value 1) exactly from the state with s = 1.
+    let out = presat(&["excite", path.to_str().unwrap(), "--output", "0"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 states"), "{stdout}");
+    // value 0: the other state.
+    let out = presat(&[
+        "excite",
+        path.to_str().unwrap(),
+        "--output",
+        "0",
+        "--value",
+        "0",
+    ]);
+    assert!(out.status.success());
+    // out-of-range output index errors cleanly.
+    let out = presat(&["excite", path.to_str().unwrap(), "--output", "7"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn helpful_errors() {
+    let out = presat(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = presat(&["preimage", "/nonexistent.bench", "--target", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let path = write_temp("toggle3.bench", TOGGLE_BENCH);
+    let out = presat(&["preimage", path.to_str().unwrap(), "--target", "9=1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+}
+
+#[test]
+fn depth_command() {
+    let path = write_temp("cnt3d.aag", COUNTER3_AAG);
+    let out = presat(&["depth", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sequential depth from the initial set: 7"), "{stdout}");
+    let out = presat(&["depth", path.to_str().unwrap(), "--initial", "6"]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains(": 7"));
+}
+
+#[test]
+fn usage_without_arguments() {
+    let out = presat(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,195 @@
+//! Workspace-wide property-based tests (proptest): the invariants that tie
+//! the crates together.
+
+use proptest::prelude::*;
+
+use presat::allsat::{
+    AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, SolutionGraph,
+    SuccessDrivenAllSat,
+};
+use presat::bdd::BddManager;
+use presat::logic::{truth_table, Cnf, Cube, CubeSet, Lit, Var};
+use presat::sat::{SolveResult, Solver};
+
+/// Strategy: a random CNF over `nv` variables with up to `max_clauses`
+/// clauses of width 1–4.
+fn arb_cnf(nv: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(
+        prop::collection::vec((0..nv, any::<bool>()), 1..=4),
+        0..=max_clauses,
+    )
+    .prop_map(move |clauses| {
+        let mut cnf = Cnf::new(nv);
+        for c in clauses {
+            cnf.add_clause(
+                c.into_iter()
+                    .map(|(v, pos)| Lit::with_phase(Var::new(v), pos)),
+            );
+        }
+        cnf
+    })
+}
+
+/// Strategy: a random cube set over `nv` variables.
+fn arb_cube_set(nv: usize, max_cubes: usize) -> impl Strategy<Value = CubeSet> {
+    prop::collection::vec(
+        prop::collection::btree_map(0..nv, any::<bool>(), 0..=nv),
+        0..=max_cubes,
+    )
+    .prop_map(|cubes| {
+        cubes
+            .into_iter()
+            .map(|m| {
+                Cube::from_lits(
+                    m.into_iter()
+                        .map(|(v, pos)| Lit::with_phase(Var::new(v), pos)),
+                )
+                .expect("btree keys are distinct")
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CDCL solver agrees with the truth table, and SAT answers carry
+    /// genuine models.
+    #[test]
+    fn solver_agrees_with_truth_table(cnf in arb_cnf(8, 24)) {
+        let expected = truth_table::is_satisfiable(&cnf);
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                prop_assert!(expected);
+                prop_assert!(cnf.is_satisfied_by(&model));
+            }
+            SolveResult::Unsat => prop_assert!(!expected),
+        }
+    }
+
+    /// DIMACS round-trips losslessly.
+    #[test]
+    fn dimacs_round_trip(cnf in arb_cnf(10, 20)) {
+        let text = presat::logic::dimacs::write(&cnf);
+        let back = presat::logic::dimacs::parse(&text).expect("own output parses");
+        prop_assert_eq!(back, cnf);
+    }
+
+    /// BDD `from_cnf` is a faithful function representation.
+    #[test]
+    fn bdd_matches_truth_table(cnf in arb_cnf(7, 16)) {
+        let mut m = BddManager::new(7);
+        let f = m.from_cnf(&cnf);
+        prop_assert_eq!(
+            m.satcount(f, 7) as u64,
+            truth_table::count_models(&cnf)
+        );
+    }
+
+    /// All three all-SAT engines compute the same projection as the
+    /// truth-table oracle.
+    #[test]
+    fn allsat_engines_agree_with_oracle(cnf in arb_cnf(7, 14)) {
+        let important: Vec<Var> = Var::range(4).collect();
+        let problem = AllSatProblem::new(cnf.clone(), important.clone());
+        let expect = truth_table::project_models_set(&cnf, &important);
+        let results = [
+            BlockingAllSat::new().enumerate(&problem).cubes,
+            MinimizedBlockingAllSat::new().enumerate(&problem).cubes,
+            SuccessDrivenAllSat::new().enumerate(&problem).cubes,
+        ];
+        for r in results {
+            prop_assert!(r.semantically_eq(&expect, &important));
+        }
+    }
+
+    /// The solution graph round-trips cube sets and counts exactly.
+    #[test]
+    fn solution_graph_round_trip(set in arb_cube_set(6, 10)) {
+        let vars: Vec<Var> = Var::range(6).collect();
+        let (g, root) = SolutionGraph::from_cube_set(&set, &vars);
+        prop_assert_eq!(g.minterm_count(root), set.minterm_count(6));
+        let back = g.to_cube_set(root, &vars);
+        prop_assert!(back.semantically_eq(&set, &vars));
+    }
+
+    /// Graph set algebra matches bit-level set algebra.
+    #[test]
+    fn solution_graph_algebra(
+        a in arb_cube_set(5, 8),
+        b in arb_cube_set(5, 8),
+    ) {
+        let vars: Vec<Var> = Var::range(5).collect();
+        let (mut g, na) = SolutionGraph::from_cube_set(&a, &vars);
+        let nb = g.add_cube_set(&b, &vars);
+        let nu = g.union(na, nb);
+        let ni = g.intersect(na, nb);
+        let nd = g.diff(na, nb);
+        for bits in 0..32u64 {
+            let ia = g.contains_bits(na, bits);
+            let ib = g.contains_bits(nb, bits);
+            prop_assert_eq!(g.contains_bits(nu, bits), ia || ib);
+            prop_assert_eq!(g.contains_bits(ni, bits), ia && ib);
+            prop_assert_eq!(g.contains_bits(nd, bits), ia && !ib);
+        }
+    }
+
+    /// Lifting always yields a sound enlargement.
+    #[test]
+    fn lifting_is_sound(cnf in arb_cnf(7, 12)) {
+        let important: Vec<Var> = Var::range(4).collect();
+        let projection = truth_table::project_models_set(&cnf, &important);
+        for model in truth_table::enumerate_models(&cnf).into_iter().take(8) {
+            let cube = presat::allsat::lift_cube(&cnf, &model, &important);
+            prop_assert!(cube.subsumes(&model.project(&important)));
+            prop_assert!(projection.covers_cube(&cube, &important));
+        }
+    }
+
+    /// BDD Boolean algebra laws hold (via canonicity).
+    #[test]
+    fn bdd_laws(cnf_a in arb_cnf(6, 8), cnf_b in arb_cnf(6, 8)) {
+        let mut m = BddManager::new(6);
+        let a = m.from_cnf(&cnf_a);
+        let b = m.from_cnf(&cnf_b);
+        // De Morgan
+        let and_ab = m.and(a, b);
+        let lhs = m.not(and_ab);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let rhs = m.or(na, nb);
+        prop_assert_eq!(lhs, rhs);
+        // Absorption
+        let or_ab = m.or(a, b);
+        prop_assert_eq!(m.and(a, or_ab), a);
+        // Double negation
+        let nna = m.not(na);
+        prop_assert_eq!(nna, a);
+        // Quantification: ∃x.f ≥ f (implication is tautological)
+        let e = m.exists(a, &[Var::new(0)]);
+        let imp = m.implies(a, e);
+        prop_assert!(imp.is_true());
+    }
+
+    /// Incremental solving under assumptions equals solving the
+    /// strengthened formula.
+    #[test]
+    fn assumptions_equal_units(
+        cnf in arb_cnf(7, 14),
+        assum in prop::collection::btree_map(0..7usize, any::<bool>(), 0..3),
+    ) {
+        let assumptions: Vec<Lit> = assum
+            .iter()
+            .map(|(&v, &p)| Lit::with_phase(Var::new(v), p))
+            .collect();
+        let mut strengthened = cnf.clone();
+        for &l in &assumptions {
+            strengthened.add_unit(l);
+        }
+        let expected = truth_table::is_satisfiable(&strengthened);
+        let mut solver = Solver::from_cnf(&cnf);
+        let got = solver.solve_with_assumptions(&assumptions);
+        prop_assert_eq!(got.is_sat(), expected);
+    }
+}

@@ -1,0 +1,98 @@
+//! Backward-reachability fixed points against the oracle, across engines.
+
+use presat::circuit::{embedded, generators, Circuit};
+use presat::preimage::{
+    backward_reach, oracle, BddPreimage, PreimageEngine, ReachOptions, SatPreimage, StateSet,
+};
+
+fn check_reach(circuit: &Circuit, target: &StateSet) {
+    let n = circuit.num_latches();
+    let expect = oracle::backward_reachable_bits(circuit, target);
+    let engines: Vec<Box<dyn PreimageEngine>> = vec![
+        Box::new(SatPreimage::success_driven()),
+        Box::new(SatPreimage::min_blocking()),
+        Box::new(BddPreimage::substitution()),
+    ];
+    for engine in engines {
+        let report = backward_reach(engine.as_ref(), circuit, target, ReachOptions::default());
+        assert!(report.converged, "{} did not converge", engine.name());
+        assert_eq!(
+            report.reached_states,
+            expect.len() as u128,
+            "{} wrong cardinality on {}",
+            engine.name(),
+            circuit.name()
+        );
+        for bits in 0..(1u64 << n) {
+            assert_eq!(
+                report.reached.contains_bits(bits, n),
+                expect.contains(&bits),
+                "{} wrong membership of {bits:b} on {}",
+                engine.name(),
+                circuit.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn counter_chain() {
+    let c = generators::counter(4, false);
+    check_reach(&c, &StateSet::from_state_bits(0, 4));
+}
+
+#[test]
+fn counter_with_enable_partial_target() {
+    let c = generators::counter(3, true);
+    check_reach(&c, &StateSet::from_partial(&[(2, true)]));
+}
+
+#[test]
+fn lfsr_cycles() {
+    let c = generators::lfsr(5);
+    check_reach(&c, &StateSet::from_state_bits(1, 5));
+}
+
+#[test]
+fn shift_register_full() {
+    let c = generators::shift_register(4);
+    check_reach(&c, &StateSet::from_state_bits(0b1111, 4));
+}
+
+#[test]
+fn parity_mixed_target() {
+    let c = generators::parity(3);
+    check_reach(&c, &StateSet::from_partial(&[(3, true), (0, false)]));
+}
+
+#[test]
+fn s27_every_singleton() {
+    let c = embedded::s27().unwrap();
+    for bits in 0..8 {
+        check_reach(&c, &StateSet::from_state_bits(bits, 3));
+    }
+}
+
+#[test]
+fn frontier_sizes_are_monotone_in_reached() {
+    let c = generators::counter(4, false);
+    let report = backward_reach(
+        &SatPreimage::success_driven(),
+        &c,
+        &StateSet::from_state_bits(7, 4),
+        ReachOptions::default(),
+    );
+    let mut prev = 0u128;
+    for row in &report.iterations {
+        assert!(row.reached_states >= prev, "reached set must grow");
+        prev = row.reached_states;
+    }
+}
+
+#[test]
+fn random_circuits_reach() {
+    for seed in 0..4 {
+        let c = generators::random_dag(2, 4, 25, seed + 100);
+        check_reach(&c, &StateSet::from_state_bits(seed % 16, 4));
+    }
+}
