@@ -204,15 +204,15 @@ mod tests {
 
     #[test]
     fn and_exists_randomized_against_sequential() {
+        use presat_logic::rng::SplitMix64;
         use presat_logic::{Cnf, Lit};
-        use rand::prelude::*;
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::seed_from_u64(11);
         for _ in 0..25 {
             let n = 6;
             let mut f_cnf = Cnf::new(n);
             let mut g_cnf = Cnf::new(n);
             for _ in 0..6 {
-                let mk = |rng: &mut StdRng| {
+                let mk = |rng: &mut SplitMix64| {
                     (0..3)
                         .map(|_| {
                             Lit::with_phase(Var::new(rng.gen_range(0..n)), rng.gen_bool(0.5))

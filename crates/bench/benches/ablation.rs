@@ -1,14 +1,12 @@
 //! Figure F4 bench: ablation of the success-driven mechanisms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use presat_allsat::SignatureMode;
+use presat_bench::harness::Bench;
 use presat_bench::workloads::ablation_workloads;
 use presat_preimage::{PreimageEngine, SatPreimage};
 
-fn ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::new("ablation");
     let configs: Vec<(&str, SatPreimage)> = vec![
         ("full", SatPreimage::success_driven()),
         (
@@ -30,15 +28,9 @@ fn ablation(c: &mut Criterion) {
     ];
     for w in ablation_workloads() {
         for (name, engine) in &configs {
-            group.bench_with_input(
-                BenchmarkId::new(*name, &w.label),
-                &w,
-                |b, w| b.iter(|| engine.preimage(&w.circuit, &w.target)),
-            );
+            bench.case(&format!("{name}/{}", w.label), || {
+                engine.preimage(&w.circuit, &w.target)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, ablation);
-criterion_main!(benches);

@@ -1,7 +1,6 @@
 //! Table R2 bench: single-step preimage runtime, engine × circuit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use presat_bench::harness::Bench;
 use presat_bench::workloads::{scaling_workload, Workload};
 use presat_circuit::{embedded, generators};
 use presat_preimage::{PreimageEngine, SatPreimage, StateSet};
@@ -21,9 +20,8 @@ fn bench_workloads() -> Vec<Workload> {
     v
 }
 
-fn preimage_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("preimage_step");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::new("preimage_step");
     let engines: Vec<(&str, Box<dyn PreimageEngine>)> = vec![
         ("blocking", Box::new(SatPreimage::blocking())),
         ("min-blocking", Box::new(SatPreimage::min_blocking())),
@@ -31,15 +29,9 @@ fn preimage_step(c: &mut Criterion) {
     ];
     for w in bench_workloads() {
         for (name, engine) in &engines {
-            group.bench_with_input(
-                BenchmarkId::new(*name, &w.label),
-                &w,
-                |b, w| b.iter(|| engine.preimage(&w.circuit, &w.target)),
-            );
+            bench.case(&format!("{name}/{}", w.label), || {
+                engine.preimage(&w.circuit, &w.target)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, preimage_step);
-criterion_main!(benches);

@@ -1,29 +1,19 @@
 //! Figure F3 bench: backward reachability to the fixed point.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use presat_bench::harness::Bench;
 use presat_bench::workloads::reach_workloads;
 use presat_preimage::{backward_reach, BddPreimage, ReachOptions, SatPreimage};
 
-fn reachability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("backward_reach");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::new("backward_reach");
     for w in reach_workloads() {
-        group.bench_with_input(
-            BenchmarkId::new("success-driven", &w.label),
-            &w,
-            |b, w| {
-                let e = SatPreimage::success_driven();
-                b.iter(|| backward_reach(&e, &w.circuit, &w.target, ReachOptions::default()))
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("bdd-sub", &w.label), &w, |b, w| {
-            let e = BddPreimage::substitution();
-            b.iter(|| backward_reach(&e, &w.circuit, &w.target, ReachOptions::default()))
+        let e = SatPreimage::success_driven();
+        bench.case(&format!("success-driven/{}", w.label), || {
+            backward_reach(&e, &w.circuit, &w.target, ReachOptions::default())
+        });
+        let e = BddPreimage::substitution();
+        bench.case(&format!("bdd-sub/{}", w.label), || {
+            backward_reach(&e, &w.circuit, &w.target, ReachOptions::default())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, reachability);
-criterion_main!(benches);

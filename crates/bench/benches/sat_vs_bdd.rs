@@ -2,35 +2,27 @@
 //! engine's block variable order makes the comparator transition function
 //! exponential; the SAT engines stay polynomial).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use presat_bench::harness::Bench;
 use presat_bench::workloads::sat_vs_bdd_workload;
 use presat_preimage::{BddPreimage, PreimageEngine, SatPreimage};
 
-fn sat_vs_bdd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat_vs_bdd");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::new("sat_vs_bdd");
     for n in [4usize, 6, 8, 10] {
         let w = sat_vs_bdd_workload(n);
-        group.bench_with_input(BenchmarkId::new("success-driven", n), &w, |b, w| {
-            let e = SatPreimage::success_driven();
-            b.iter(|| e.preimage(&w.circuit, &w.target))
+        let e = SatPreimage::success_driven();
+        bench.case(&format!("success-driven/{n}"), || {
+            e.preimage(&w.circuit, &w.target)
         });
-        group.bench_with_input(BenchmarkId::new("bdd-sub", n), &w, |b, w| {
-            let e = BddPreimage::substitution();
-            b.iter(|| e.preimage(&w.circuit, &w.target))
-        });
+        let e = BddPreimage::substitution();
+        bench.case(&format!("bdd-sub/{n}"), || e.preimage(&w.circuit, &w.target));
         // The monolithic transition relation grows as 4^n on this family;
         // keep the bench sweep inside memory (see tables.rs, R4).
         if n <= 8 {
-            group.bench_with_input(BenchmarkId::new("bdd-mono", n), &w, |b, w| {
-                let e = BddPreimage::monolithic();
-                b.iter(|| e.preimage(&w.circuit, &w.target))
+            let e = BddPreimage::monolithic();
+            bench.case(&format!("bdd-mono/{n}"), || {
+                e.preimage(&w.circuit, &w.target)
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, sat_vs_bdd);
-criterion_main!(benches);

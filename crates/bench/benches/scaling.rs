@@ -1,31 +1,23 @@
 //! Figures F1/F2 bench: runtime scaling with solution count on the parity
 //! family (2^n solution minterms, linear solution graph).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use presat_bench::harness::Bench;
 use presat_bench::workloads::scaling_workload;
 use presat_preimage::{PreimageEngine, SatPreimage};
 
-fn scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling_parity");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::new("scaling_parity");
     for n in [4usize, 6, 8, 10] {
         let w = scaling_workload(n);
-        group.bench_with_input(BenchmarkId::new("blocking", n), &w, |b, w| {
-            let e = SatPreimage::blocking();
-            b.iter(|| e.preimage(&w.circuit, &w.target))
+        let e = SatPreimage::blocking();
+        bench.case(&format!("blocking/{n}"), || e.preimage(&w.circuit, &w.target));
+        let e = SatPreimage::min_blocking();
+        bench.case(&format!("min-blocking/{n}"), || {
+            e.preimage(&w.circuit, &w.target)
         });
-        group.bench_with_input(BenchmarkId::new("min-blocking", n), &w, |b, w| {
-            let e = SatPreimage::min_blocking();
-            b.iter(|| e.preimage(&w.circuit, &w.target))
-        });
-        group.bench_with_input(BenchmarkId::new("success-driven", n), &w, |b, w| {
-            let e = SatPreimage::success_driven();
-            b.iter(|| e.preimage(&w.circuit, &w.target))
+        let e = SatPreimage::success_driven();
+        bench.case(&format!("success-driven/{n}"), || {
+            e.preimage(&w.circuit, &w.target)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, scaling);
-criterion_main!(benches);

@@ -3,10 +3,14 @@
 //! ```text
 //! cargo run --release -p presat-bench --bin tables          # everything
 //! cargo run --release -p presat-bench --bin tables -- r2 f1 # a subset
+//! cargo run --release -p presat-bench --bin tables -- csv   # raw counters
 //! ```
 //!
 //! Output is Markdown, printed to stdout, one section per experiment id
-//! (R1–R4 tables, F1–F4 figure series).
+//! (R1–R4 tables, F1–F4 figure series). Every number comes from the
+//! `presat-obs` counters threaded through the engines; the `csv` id dumps
+//! the full per-run counter snapshots (`presat_obs::Stats`) as CSV for
+//! offline analysis.
 
 use std::time::{Duration, Instant};
 
@@ -15,6 +19,7 @@ use presat_bench::workloads::{
     self, ablation_workloads, reach_workloads, sat_vs_bdd_workload, scaling_workload, Workload,
 };
 use presat_circuit::cone;
+use presat_obs::Stats;
 use presat_preimage::{
     backward_reach, BddPreimage, PreimageEngine, PreimageResult, ReachOptions, SatPreimage,
     StepEncoding,
@@ -53,6 +58,29 @@ fn main() {
     }
     if want("e2") {
         table_e2();
+    }
+    // The raw CSV dump is opt-in only: it is data, not a Markdown section.
+    if args.iter().any(|a| a.eq_ignore_ascii_case("csv")) {
+        dump_csv();
+    }
+}
+
+/// `csv` — one `presat_obs::Stats` row per engine × main-suite workload,
+/// the machine-readable companion to tables R2/R3.
+fn dump_csv() {
+    println!("{}", Stats::csv_header());
+    let engines: Vec<(&str, Box<dyn PreimageEngine>)> = vec![
+        ("sat-blocking", Box::new(SatPreimage::blocking())),
+        ("sat-min-blocking", Box::new(SatPreimage::min_blocking())),
+        ("sat-success-driven", Box::new(SatPreimage::success_driven())),
+        ("bdd-sub", Box::new(BddPreimage::substitution())),
+    ];
+    for w in workloads::suite() {
+        for (name, engine) in &engines {
+            let r = engine.preimage(&w.circuit, &w.target);
+            let stats = Stats::from_preimage(format!("{name}/{}", w.label), &r.stats);
+            println!("{}", stats.to_csv_row());
+        }
     }
 }
 
@@ -165,13 +193,15 @@ fn table_r1() {
     }
 }
 
-/// R2 — single-step preimage across the three SAT engines.
+/// R2 — single-step preimage across the three SAT engines. The decision
+/// and conflict columns come from the CDCL snapshot nested inside each
+/// run's counters (`stats.allsat.sat`), not from wall-clock proxies.
 fn table_r2() {
     println!("\n## R2 — single-step preimage: SAT engines\n");
     println!(
-        "| circuit | solutions | blk time ms | blk cubes | min time ms | min cubes | sd time ms | sd cubes | sd graph |"
+        "| circuit | solutions | blk time ms | blk cubes | min time ms | min cubes | sd time ms | sd cubes | sd graph | sd decisions | sd conflicts |"
     );
-    println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
     for w in workloads::suite() {
         let n = w.circuit.num_latches();
         let (t_b, r_b) = timed(&SatPreimage::blocking(), &w);
@@ -181,7 +211,7 @@ fn table_r2() {
         assert_eq!(solutions, r_b.states.minterm_count(n), "{}", w.label);
         assert_eq!(solutions, r_m.states.minterm_count(n), "{}", w.label);
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             w.label,
             solutions,
             ms(t_b),
@@ -191,6 +221,8 @@ fn table_r2() {
             ms(t_s),
             r_s.stats.result_cubes,
             r_s.stats.graph_nodes,
+            r_s.stats.allsat.sat.decisions,
+            r_s.stats.allsat.sat.conflicts,
         );
     }
 }
@@ -229,9 +261,9 @@ fn table_r3() {
 fn table_r4() {
     println!("\n## R4 — SAT vs BDD (comparator family)\n");
     println!(
-        "| n | sd time ms | sd graph | bdd-sub time ms | bdd-sub nodes | bdd-mono time ms | bdd-mono nodes |"
+        "| n | sd time ms | sd graph | sd conflicts | bdd-sub time ms | bdd-sub nodes | bdd-mono time ms | bdd-mono nodes |"
     );
-    println!("|---:|---:|---:|---:|---:|---:|---:|");
+    println!("|---:|---:|---:|---:|---:|---:|---:|---:|");
     const MONO_CAP: usize = 8;
     for n in [4usize, 6, 8, 10, 12] {
         let w = sat_vs_bdd_workload(n);
@@ -253,10 +285,11 @@ fn table_r4() {
             "mem-out | mem-out".to_string()
         };
         println!(
-            "| {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} |",
             n,
             ms(t_s),
             r_s.stats.graph_nodes,
+            r_s.stats.allsat.sat.conflicts,
             ms(t_sub),
             r_sub.stats.bdd_nodes,
             mono_cells,

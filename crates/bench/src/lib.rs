@@ -1,8 +1,10 @@
-//! Shared workload definitions for the benchmark harness.
+//! Shared workload definitions and timing harness for the benchmarks.
 //!
-//! Both the Criterion benches (`benches/`) and the `tables` binary (which
-//! regenerates every reconstructed table and figure of `EXPERIMENTS.md`)
-//! draw their circuits and targets from here, so the numbers they report
-//! describe the same experiments.
+//! Both the wall-clock benches (`benches/`, plain binaries built on
+//! [`harness`]) and the `tables` binary (which regenerates every
+//! reconstructed table and figure of `EXPERIMENTS.md`) draw their circuits
+//! and targets from [`workloads`], so the numbers they report describe the
+//! same experiments.
 
+pub mod harness;
 pub mod workloads;

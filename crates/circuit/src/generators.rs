@@ -17,8 +17,7 @@
 //!   block variable order the BDD engine must use (table R4 crossover);
 //! * [`random_dag`] — seeded random sequential logic for fuzzing.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use presat_logic::rng::SplitMix64;
 
 use crate::aig::AigRef;
 use crate::Circuit;
@@ -392,7 +391,7 @@ pub fn fifo_controller(k: usize) -> Circuit {
 /// Panics if `num_latches == 0`.
 pub fn random_dag(num_inputs: usize, num_latches: usize, gates: usize, seed: u64) -> Circuit {
     assert!(num_latches > 0, "need at least one latch");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut c = Circuit::new(num_inputs, num_latches);
     c.set_name(format!("rnd{num_inputs}x{num_latches}g{gates}s{seed}"));
     let mut pool: Vec<AigRef> = (0..num_inputs)
@@ -400,7 +399,7 @@ pub fn random_dag(num_inputs: usize, num_latches: usize, gates: usize, seed: u64
         .chain((0..num_latches).map(|j| c.state_ref(j)))
         .collect();
     for _ in 0..gates {
-        let pick = |rng: &mut StdRng, pool: &[AigRef]| {
+        let pick = |rng: &mut SplitMix64, pool: &[AigRef]| {
             let r = pool[rng.gen_range(0..pool.len())];
             if rng.gen_bool(0.5) {
                 !r

@@ -1,6 +1,7 @@
 //! The classical blocking-clause all-SAT baseline.
 
 use presat_logic::CubeSet;
+use presat_obs::{Event, ObsSink};
 use presat_sat::{SolveResult, Solver};
 
 use crate::engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
@@ -40,7 +41,11 @@ impl AllSatEngine for BlockingAllSat {
         "blocking"
     }
 
-    fn enumerate(&self, problem: &AllSatProblem) -> AllSatResult {
+    fn enumerate_with_sink(
+        &self,
+        problem: &AllSatProblem,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult {
         let mut solver = Solver::from_cnf(&problem.cnf);
         let mut stats = EnumerationStats::default();
         let mut cubes = CubeSet::new();
@@ -53,9 +58,15 @@ impl AllSatEngine for BlockingAllSat {
                     stats.cubes_emitted += 1;
                     stats.literals_before_lift += minterm.len() as u64;
                     stats.literals_after_lift += minterm.len() as u64;
+                    sink.record(&Event::Solution {
+                        width: minterm.len() as u32,
+                    });
                     // Block exactly this minterm.
                     let blocked = solver.add_clause(minterm.lits().iter().map(|&l| !l));
                     stats.blocking_clauses += 1;
+                    sink.record(&Event::BlockingClause {
+                        width: minterm.len() as u32,
+                    });
                     cubes.insert(minterm);
                     if !blocked {
                         // Blocking the last remaining projection point made
@@ -65,8 +76,9 @@ impl AllSatEngine for BlockingAllSat {
                 }
             }
         }
-        stats.sat_conflicts = solver.stats().conflicts;
-        stats.sat_decisions = solver.stats().decisions;
+        stats.sat = *solver.stats();
+        stats.sat_conflicts = stats.sat.conflicts;
+        stats.sat_decisions = stats.sat.decisions;
         AllSatResult {
             cubes,
             graph: None,
@@ -131,8 +143,8 @@ mod tests {
 
     #[test]
     fn matches_oracle_on_random_formulas() {
-        use rand::prelude::*;
-        let mut rng = StdRng::seed_from_u64(21);
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(21);
         for round in 0..25 {
             let n = 6;
             let mut cnf = Cnf::new(n);

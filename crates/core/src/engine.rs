@@ -1,8 +1,7 @@
 //! The common interface of all-solutions engines.
 
-use std::fmt;
-
 use presat_logic::{Cnf, CubeSet, Var};
+use presat_obs::{NullSink, ObsSink};
 
 use crate::solution_graph::{SolutionGraph, SolutionNodeId};
 
@@ -48,46 +47,12 @@ impl AllSatProblem {
 }
 
 /// Work counters shared by every engine, reported in the evaluation tables.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct EnumerationStats {
-    /// Calls into the CDCL sub-solver.
-    pub solver_calls: u64,
-    /// Blocking clauses added (zero for the success-driven engine).
-    pub blocking_clauses: u64,
-    /// Cubes emitted before any set-level absorption.
-    pub cubes_emitted: u64,
-    /// Total literal count of emitted cubes before lifting.
-    pub literals_before_lift: u64,
-    /// Total literal count of emitted cubes after lifting.
-    pub literals_after_lift: u64,
-    /// Success-cache hits (subspace reuse) — success-driven engine only.
-    pub cache_hits: u64,
-    /// Success-cache misses — success-driven engine only.
-    pub cache_misses: u64,
-    /// Nodes in the resulting solution graph (success-driven engine only).
-    pub graph_nodes: u64,
-    /// Conflicts reported by the underlying CDCL solver.
-    pub sat_conflicts: u64,
-    /// Decisions reported by the underlying CDCL solver.
-    pub sat_decisions: u64,
-}
-
-impl fmt::Display for EnumerationStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "calls={} blocks={} cubes={} lift={}→{} cache={}/{} graph={}",
-            self.solver_calls,
-            self.blocking_clauses,
-            self.cubes_emitted,
-            self.literals_before_lift,
-            self.literals_after_lift,
-            self.cache_hits,
-            self.cache_hits + self.cache_misses,
-            self.graph_nodes
-        )
-    }
-}
+///
+/// The canonical definition lives in `presat-obs` (as
+/// [`presat_obs::AllSatCounters`], which also nests the sub-solver's full
+/// counter snapshot in its `sat` field); this alias keeps the historical
+/// name.
+pub use presat_obs::AllSatCounters as EnumerationStats;
 
 /// The outcome of an enumeration: the projected solution set as cubes, the
 /// solution graph when the engine builds one, and work counters.
@@ -163,8 +128,18 @@ pub trait AllSatEngine {
     fn name(&self) -> &'static str;
 
     /// Enumerates the projection of `problem.cnf`'s models onto
-    /// `problem.important`.
-    fn enumerate(&self, problem: &AllSatProblem) -> AllSatResult;
+    /// `problem.important`, reporting enumeration-level events (solutions,
+    /// blocking clauses, cache hits) to `sink` as they happen.
+    fn enumerate_with_sink(
+        &self,
+        problem: &AllSatProblem,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult;
+
+    /// [`AllSatEngine::enumerate_with_sink`] without an event trace.
+    fn enumerate(&self, problem: &AllSatProblem) -> AllSatResult {
+        self.enumerate_with_sink(problem, &mut NullSink)
+    }
 }
 
 #[cfg(test)]

@@ -145,8 +145,8 @@ mod tests {
 
     #[test]
     fn yielded_cubes_never_repeat_solutions() {
-        use rand::prelude::*;
-        let mut rng = StdRng::seed_from_u64(77);
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(77);
         for round in 0..15 {
             let n = 6;
             let mut cnf = Cnf::new(n);

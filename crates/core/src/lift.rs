@@ -136,8 +136,8 @@ mod tests {
 
     #[test]
     fn lifted_cube_stays_inside_projection() {
-        use rand::prelude::*;
-        let mut rng = StdRng::seed_from_u64(3);
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(3);
         for round in 0..40 {
             let n = 7;
             let mut cnf = Cnf::new(n);

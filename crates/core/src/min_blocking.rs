@@ -1,6 +1,7 @@
 //! Blocking-clause enumeration with cube minimization (literal lifting).
 
 use presat_logic::CubeSet;
+use presat_obs::{Event, ObsSink};
 use presat_sat::{SolveResult, Solver};
 
 use crate::engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
@@ -46,7 +47,11 @@ impl AllSatEngine for MinimizedBlockingAllSat {
         "min-blocking"
     }
 
-    fn enumerate(&self, problem: &AllSatProblem) -> AllSatResult {
+    fn enumerate_with_sink(
+        &self,
+        problem: &AllSatProblem,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult {
         let mut solver = Solver::from_cnf(&problem.cnf);
         let mut stats = EnumerationStats::default();
         let mut cubes = CubeSet::new();
@@ -60,8 +65,14 @@ impl AllSatEngine for MinimizedBlockingAllSat {
                     stats.cubes_emitted += 1;
                     stats.literals_before_lift += minterm_len;
                     stats.literals_after_lift += cube.len() as u64;
+                    sink.record(&Event::Solution {
+                        width: cube.len() as u32,
+                    });
                     let blocked = solver.add_clause(cube.lits().iter().map(|&l| !l));
                     stats.blocking_clauses += 1;
+                    sink.record(&Event::BlockingClause {
+                        width: cube.len() as u32,
+                    });
                     cubes.insert(cube);
                     if !blocked {
                         break;
@@ -69,8 +80,9 @@ impl AllSatEngine for MinimizedBlockingAllSat {
                 }
             }
         }
-        stats.sat_conflicts = solver.stats().conflicts;
-        stats.sat_decisions = solver.stats().decisions;
+        stats.sat = *solver.stats();
+        stats.sat_conflicts = stats.sat.conflicts;
+        stats.sat_decisions = stats.sat.decisions;
         AllSatResult {
             cubes,
             graph: None,
@@ -103,8 +115,8 @@ mod tests {
     #[test]
     fn matches_naive_engine_semantics() {
         use crate::blocking::BlockingAllSat;
-        use rand::prelude::*;
-        let mut rng = StdRng::seed_from_u64(33);
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(33);
         for round in 0..25 {
             let n = 6;
             let mut cnf = Cnf::new(n);

@@ -7,6 +7,7 @@
 //! helpers compute orders from the CNF's structure; the enumerated *set*
 //! is order-independent (asserted by tests), only cost varies.
 
+use presat_logic::rng::SplitMix64;
 use presat_logic::{Cnf, Var};
 
 /// A branching-order heuristic for [`order_important`].
@@ -63,20 +64,11 @@ pub fn order_important(cnf: &Cnf, important: &[Var], order: BranchOrder) -> Vec<
         }
         BranchOrder::Shuffled(seed) => {
             // Fisher–Yates with a splitmix64 stream: deterministic and
-            // dependency-free.
+            // dependency-free. The XOR separates this stream from other
+            // users of the same raw seed.
             let mut v = important.to_vec();
-            let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
-            let mut next = move || {
-                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                let mut z = state;
-                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-                z ^ (z >> 31)
-            };
-            for i in (1..v.len()).rev() {
-                let j = (next() % (i as u64 + 1)) as usize;
-                v.swap(i, j);
-            }
+            let mut rng = SplitMix64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+            rng.shuffle(&mut v);
             v
         }
     }
@@ -131,8 +123,7 @@ mod tests {
 
     #[test]
     fn enumeration_is_order_independent() {
-        use rand::prelude::*;
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::seed_from_u64(9);
         for round in 0..10 {
             let n = 6;
             let mut cnf = Cnf::new(n);

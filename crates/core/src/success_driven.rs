@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use presat_logic::{Assignment, Lit};
+use presat_obs::{Event, ObsSink};
 use presat_sat::{SolveResult, Solver};
 
 use crate::engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
@@ -136,6 +137,7 @@ struct Search<'p> {
     prefix_lits: Vec<Lit>,
     prefix_vals: Vec<bool>,
     model_guidance: bool,
+    sink: &'p mut dyn ObsSink,
 }
 
 impl Search<'_> {
@@ -184,9 +186,15 @@ impl Search<'_> {
             Some(Ok(sig)) => {
                 if let Some(&node) = self.cache.get(&sig) {
                     self.stats.cache_hits += 1;
+                    self.sink.record(&Event::CacheHit {
+                        depth: depth as u32,
+                    });
                     return node;
                 }
                 self.stats.cache_misses += 1;
+                self.sink.record(&Event::CacheMiss {
+                    depth: depth as u32,
+                });
                 Some(sig)
             }
             // Propagation conflict: the subspace is provably empty. (With a
@@ -232,7 +240,11 @@ impl AllSatEngine for SuccessDrivenAllSat {
         "success-driven"
     }
 
-    fn enumerate(&self, problem: &AllSatProblem) -> AllSatResult {
+    fn enumerate_with_sink(
+        &self,
+        problem: &AllSatProblem,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult {
         let k = problem.important.len();
         let mut search = Search {
             problem,
@@ -247,13 +259,20 @@ impl AllSatEngine for SuccessDrivenAllSat {
             prefix_lits: Vec::with_capacity(k),
             prefix_vals: Vec::with_capacity(k),
             model_guidance: self.model_guidance,
+            sink,
         };
         let root = search.explore(0, None);
         search.stats.graph_nodes = search.graph.reachable_count(root) as u64;
-        search.stats.sat_conflicts = search.solver.stats().conflicts;
-        search.stats.sat_decisions = search.solver.stats().decisions;
+        search.stats.sat = *search.solver.stats();
+        search.stats.sat_conflicts = search.stats.sat.conflicts;
+        search.stats.sat_decisions = search.stats.sat.decisions;
         let cubes = search.graph.to_cube_set(root, &problem.important);
         search.stats.cubes_emitted = cubes.len() as u64;
+        for cube in &cubes {
+            search.sink.record(&Event::Solution {
+                width: cube.len() as u32,
+            });
+        }
         AllSatResult {
             cubes,
             graph: Some((search.graph, root)),
@@ -358,9 +377,9 @@ mod tests {
 
     #[test]
     fn ablations_agree_with_oracle_on_random_formulas() {
+        use presat_logic::rng::SplitMix64;
         use presat_logic::Lit;
-        use rand::prelude::*;
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         let engines = [
             SuccessDrivenAllSat::new(),
             SuccessDrivenAllSat::new().with_signature(SignatureMode::Static),

@@ -31,6 +31,7 @@ mod cube;
 mod cube_set;
 pub mod dimacs;
 mod lit;
+pub mod rng;
 pub mod truth_table;
 mod var;
 

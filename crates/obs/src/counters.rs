@@ -1,0 +1,211 @@
+//! Plain-`u64` work counters for the three instrumented layers.
+//!
+//! These are the *canonical* homes of the structs historically defined as
+//! `presat_sat::SolverStats`, `presat_allsat::EnumerationStats`, and
+//! `presat_preimage::PreimageStats`; those crates re-export them under the
+//! old names so downstream code and the increment sites on the solver hot
+//! loop are unchanged. Everything here is `Copy`, allocation-free, and
+//! cheap enough to stay enabled in release builds.
+
+use std::fmt;
+
+/// Running counters describing the work a CDCL solver has done; useful for
+/// the benchmark tables and for regression tests on search behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SatCounters {
+    /// Number of top-level `solve*` calls.
+    pub solves: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Number of problem (non-learnt) clauses added.
+    pub problem_clauses: u64,
+}
+
+impl SatCounters {
+    /// Accumulates another snapshot into this one (all fields additive).
+    pub fn absorb(&mut self, other: &SatCounters) {
+        self.solves += other.solves;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.deleted_clauses += other.deleted_clauses;
+        self.problem_clauses += other.problem_clauses;
+    }
+}
+
+impl fmt::Display for SatCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solves={} decisions={} propagations={} conflicts={} restarts={} learnts={} deleted={}",
+            self.solves,
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learnt_clauses,
+            self.deleted_clauses
+        )
+    }
+}
+
+/// Work counters shared by every all-solutions engine, reported in the
+/// evaluation tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllSatCounters {
+    /// Calls into the CDCL sub-solver.
+    pub solver_calls: u64,
+    /// Blocking clauses added (zero for the success-driven engine).
+    pub blocking_clauses: u64,
+    /// Cubes emitted before any set-level absorption.
+    pub cubes_emitted: u64,
+    /// Total literal count of emitted cubes before lifting.
+    pub literals_before_lift: u64,
+    /// Total literal count of emitted cubes after lifting.
+    pub literals_after_lift: u64,
+    /// Success-cache hits (subspace reuse) — success-driven engine only.
+    pub cache_hits: u64,
+    /// Success-cache misses — success-driven engine only.
+    pub cache_misses: u64,
+    /// Nodes in the resulting solution graph (success-driven engine only).
+    pub graph_nodes: u64,
+    /// Conflicts reported by the underlying CDCL solver.
+    pub sat_conflicts: u64,
+    /// Decisions reported by the underlying CDCL solver.
+    pub sat_decisions: u64,
+    /// Full counter snapshot of the underlying CDCL solver.
+    pub sat: SatCounters,
+}
+
+impl AllSatCounters {
+    /// Accumulates another snapshot into this one. Work counters are
+    /// additive; `graph_nodes` (a per-run peak) takes the maximum.
+    pub fn absorb(&mut self, other: &AllSatCounters) {
+        self.solver_calls += other.solver_calls;
+        self.blocking_clauses += other.blocking_clauses;
+        self.cubes_emitted += other.cubes_emitted;
+        self.literals_before_lift += other.literals_before_lift;
+        self.literals_after_lift += other.literals_after_lift;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.graph_nodes = self.graph_nodes.max(other.graph_nodes);
+        self.sat_conflicts += other.sat_conflicts;
+        self.sat_decisions += other.sat_decisions;
+        self.sat.absorb(&other.sat);
+    }
+}
+
+impl fmt::Display for AllSatCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calls={} blocks={} cubes={} lift={}→{} cache={}/{} graph={}",
+            self.solver_calls,
+            self.blocking_clauses,
+            self.cubes_emitted,
+            self.literals_before_lift,
+            self.literals_after_lift,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.graph_nodes
+        )
+    }
+}
+
+/// Work and memory counters for one preimage computation, merging the
+/// SAT-side and BDD-side metrics into the columns the evaluation tables
+/// report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PreimageCounters {
+    /// Cubes in the returned state set.
+    pub result_cubes: u64,
+    /// Calls into the CDCL solver (SAT engines).
+    pub solver_calls: u64,
+    /// Blocking clauses added (blocking-style SAT engines).
+    pub blocking_clauses: u64,
+    /// Solution-graph nodes (success-driven engine).
+    pub graph_nodes: u64,
+    /// Success-cache hits (success-driven engine).
+    pub cache_hits: u64,
+    /// Peak BDD manager node count (BDD engine).
+    pub bdd_nodes: u64,
+    /// CDCL conflicts (SAT engines).
+    pub sat_conflicts: u64,
+    /// Fixed-point iterations (1 for a one-step preimage; the frontier
+    /// depth for backward reachability).
+    pub iterations: u64,
+    /// Engine wall-clock time in nanoseconds.
+    pub wall_time_ns: u64,
+    /// Full counter snapshot of the underlying all-SAT layer (SAT engines).
+    pub allsat: AllSatCounters,
+}
+
+impl PreimageCounters {
+    /// Accumulates one preimage run's counters into a multi-iteration
+    /// total (used by the backward-reachability fixed-point loop). Work
+    /// counters and times are additive; `iterations` counts absorbed runs;
+    /// peak sizes (`bdd_nodes`, `graph_nodes`, `result_cubes`) take the
+    /// maximum.
+    pub fn absorb(&mut self, other: &PreimageCounters) {
+        self.result_cubes = self.result_cubes.max(other.result_cubes);
+        self.solver_calls += other.solver_calls;
+        self.blocking_clauses += other.blocking_clauses;
+        self.graph_nodes = self.graph_nodes.max(other.graph_nodes);
+        self.cache_hits += other.cache_hits;
+        self.bdd_nodes = self.bdd_nodes.max(other.bdd_nodes);
+        self.sat_conflicts += other.sat_conflicts;
+        self.iterations += other.iterations.max(1);
+        self.wall_time_ns += other.wall_time_ns;
+        self.allsat.absorb(&other.allsat);
+    }
+}
+
+impl fmt::Display for PreimageCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cubes={} calls={} blocks={} graph={} hits={} bdd={}",
+            self.result_cubes,
+            self.solver_calls,
+            self.blocking_clauses,
+            self.graph_nodes,
+            self.cache_hits,
+            self.bdd_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let s = SatCounters::default();
+        assert_eq!(s.decisions + s.conflicts + s.propagations, 0);
+        let a = AllSatCounters::default();
+        assert_eq!(a.cubes_emitted + a.blocking_clauses, 0);
+        assert_eq!(a.sat, SatCounters::default());
+        let p = PreimageCounters::default();
+        assert_eq!(p.iterations + p.wall_time_ns, 0);
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        assert!(SatCounters::default().to_string().contains("solves=0"));
+        assert!(AllSatCounters::default().to_string().contains("calls=0"));
+        assert!(PreimageCounters::default().to_string().contains("cubes=0"));
+    }
+}

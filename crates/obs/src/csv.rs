@@ -1,0 +1,40 @@
+//! Tiny CSV emission helpers (RFC-4180-style quoting, no dependency).
+
+/// Quotes `field` if it contains a comma, quote, or newline.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Joins already-stringified fields into one CSV row (no trailing newline).
+pub fn row<I, S>(fields: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    fields
+        .into_iter()
+        .map(|f| escape_field(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through() {
+        assert_eq!(row(["a", "b", "42"]), "a,b,42");
+    }
+
+    #[test]
+    fn special_fields_are_quoted() {
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(row(["x", "a,b"]), "x,\"a,b\"");
+    }
+}

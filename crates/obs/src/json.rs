@@ -1,0 +1,362 @@
+//! A minimal hand-rolled JSON writer and checker — enough to emit stats
+//! objects and to let tests assert that emitted text is well-formed,
+//! without any external dependency.
+
+use std::fmt::Write as _;
+
+/// Incremental writer for a flat-or-nested JSON object.
+///
+/// Keys and string values are escaped; numbers are emitted verbatim. The
+/// writer tracks comma placement so callers just push fields in order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    /// Whether the object at each open nesting level already has a field.
+    has_field: Vec<bool>,
+}
+
+impl JsonObject {
+    /// Starts a fresh top-level object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            has_field: vec![false],
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        let depth = self.has_field.len() - 1;
+        if self.has_field[depth] {
+            self.buf.push(',');
+        }
+        self.has_field[depth] = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, name);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a floating-point field (finite values only; non-finite values
+    /// are emitted as `null`, which JSON requires).
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Opens a nested object field; close it with [`JsonObject::end_object`].
+    pub fn begin_object(&mut self, name: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push('{');
+        self.has_field.push(false);
+        self
+    }
+
+    /// Closes the innermost nested object.
+    pub fn end_object(&mut self) -> &mut Self {
+        assert!(self.has_field.len() > 1, "no nested object open");
+        self.has_field.pop();
+        self.buf.push('}');
+        self
+    }
+
+    /// Closes the top-level object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        assert_eq!(self.has_field.len(), 1, "unclosed nested object");
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Checks that `text` is one well-formed JSON value (with optional
+/// surrounding whitespace). Returns `Err` with a byte offset and message on
+/// the first violation. This is a validator, not a full parser: it builds
+/// no tree, so tests can assert emitter output is valid JSON without a
+/// serde dependency.
+pub fn validate(text: &str) -> Result<(), String> {
+    let b = text.as_bytes();
+    let mut pos = 0;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+/// Extracts the unsigned-integer value of top-level or nested key `name`
+/// from JSON text produced by [`JsonObject`]. Searches for the exact quoted
+/// key; returns `None` if absent or not an unsigned integer. Intended for
+/// tests and table plumbing, not general JSON consumption.
+pub fn extract_u64(text: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+        None => Err(format!("unexpected end of input at {pos}", pos = *pos)),
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        for i in 1..=4 {
+                            if !b.get(*pos + i).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!(
+                                    "bad \\u escape at byte {pos}",
+                                    pos = *pos
+                                ));
+                            }
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!("raw control byte in string at {pos}", pos = *pos))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_from = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    if *pos == digits_from {
+        return Err(format!("expected digits at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_from = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == frac_from {
+            return Err(format!("expected fraction digits at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_from = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == exp_from {
+            return Err(format!("expected exponent digits at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_json() {
+        let mut o = JsonObject::new();
+        o.field_str("engine", "sat-\"quoted\"\n")
+            .field_u64("decisions", 42)
+            .begin_object("nested")
+            .field_u64("x", 1)
+            .field_f64("ratio", 0.5)
+            .end_object()
+            .field_f64("nan", f64::NAN);
+        let text = o.finish();
+        validate(&text).unwrap();
+        assert!(text.contains("\"decisions\":42"));
+        assert!(text.contains("\"nested\":{\"x\":1"));
+        assert!(text.contains("\"nan\":null"));
+    }
+
+    #[test]
+    fn empty_object_is_valid() {
+        let text = JsonObject::new().finish();
+        assert_eq!(text, "{}");
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_standard_values() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e+3",
+            "[1, {\"a\": [null, \"x\\u00e9\"]}]",
+            "  {\"k\": \"v\"}  ",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "\"unterminated",
+            "01abc",
+            "{\"a\":1} extra",
+            "tru",
+            "1.",
+            "1e",
+        ] {
+            assert!(validate(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn extract_u64_finds_nested_keys() {
+        let text = "{\"sat\":{\"decisions\":17},\"solutions\":4}";
+        assert_eq!(extract_u64(text, "decisions"), Some(17));
+        assert_eq!(extract_u64(text, "solutions"), Some(4));
+        assert_eq!(extract_u64(text, "missing"), None);
+    }
+}

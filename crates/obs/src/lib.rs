@@ -1,0 +1,243 @@
+//! # presat-obs
+//!
+//! Zero-dependency observability for the presat engines: plain-`u64`
+//! counters for each layer (SAT search, all-solutions enumeration,
+//! preimage/fixed-point), an [`ObsSink`] structured event trace with a
+//! no-op default, wall-clock [`Timer`]s, and a [`Stats`] snapshot with
+//! JSON and CSV emitters.
+//!
+//! Design constraints (and why):
+//!
+//! - **Cheap by default.** Counters are plain `u64` fields incremented
+//!   in-place by the owning engine — no atomics, no `RefCell`, nothing on
+//!   the CDCL hot loop beyond the `+= 1` the solver already did. The event
+//!   trace fires only on enumeration-level steps (one event per solution,
+//!   blocking clause, or reachability iteration) through `&mut dyn
+//!   ObsSink`, whose default [`NullSink`] makes the call a no-op.
+//! - **Zero dependencies.** The JSON and CSV emitters are hand-rolled so
+//!   the workspace builds hermetically offline; [`json::validate`] lets
+//!   tests check emitted text is well-formed JSON without serde.
+//!
+//! The counter structs here are the canonical definitions; `presat-sat`,
+//! `presat-allsat`, and `presat-preimage` re-export them under their
+//! historical names (`SolverStats`, `EnumerationStats`, `PreimageStats`).
+
+pub mod counters;
+pub mod csv;
+pub mod json;
+pub mod sink;
+pub mod timer;
+
+pub use counters::{AllSatCounters, PreimageCounters, SatCounters};
+pub use sink::{Event, NullSink, ObsSink, VecSink};
+pub use timer::{time, Timer};
+
+use json::JsonObject;
+
+/// A point-in-time snapshot of every counter layer for one engine run,
+/// ready for JSON/CSV emission.
+///
+/// Layers the run did not exercise stay at their zero defaults (e.g. the
+/// `sat` block of a BDD preimage run).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Engine name as reported by the engine (`"sat-success-driven"`, …).
+    pub engine: String,
+    /// CDCL search counters.
+    pub sat: SatCounters,
+    /// All-solutions enumeration counters.
+    pub allsat: AllSatCounters,
+    /// Preimage/fixed-point counters.
+    pub preimage: PreimageCounters,
+    /// Wall-clock time of the whole run in nanoseconds.
+    pub wall_time_ns: u64,
+}
+
+impl Stats {
+    /// Snapshot of a bare SAT solve.
+    pub fn from_sat(engine: impl Into<String>, sat: &SatCounters) -> Self {
+        Stats {
+            engine: engine.into(),
+            sat: *sat,
+            ..Stats::default()
+        }
+    }
+
+    /// Snapshot of an all-solutions enumeration (the SAT layer is lifted
+    /// out of the enumeration's nested solver snapshot).
+    pub fn from_allsat(engine: impl Into<String>, allsat: &AllSatCounters) -> Self {
+        Stats {
+            engine: engine.into(),
+            sat: allsat.sat,
+            allsat: *allsat,
+            ..Stats::default()
+        }
+    }
+
+    /// Snapshot of a preimage (or backward-reachability) run; the allsat
+    /// and SAT layers are lifted out of the nested snapshots.
+    pub fn from_preimage(engine: impl Into<String>, preimage: &PreimageCounters) -> Self {
+        Stats {
+            engine: engine.into(),
+            sat: preimage.allsat.sat,
+            allsat: preimage.allsat,
+            preimage: *preimage,
+            wall_time_ns: preimage.wall_time_ns,
+        }
+    }
+
+    /// Emits the snapshot as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("engine", &self.engine)
+            .field_u64("wall_time_ns", self.wall_time_ns);
+        o.begin_object("sat")
+            .field_u64("solves", self.sat.solves)
+            .field_u64("decisions", self.sat.decisions)
+            .field_u64("propagations", self.sat.propagations)
+            .field_u64("conflicts", self.sat.conflicts)
+            .field_u64("restarts", self.sat.restarts)
+            .field_u64("learnt_clauses", self.sat.learnt_clauses)
+            .field_u64("deleted_clauses", self.sat.deleted_clauses)
+            .field_u64("problem_clauses", self.sat.problem_clauses)
+            .end_object();
+        o.begin_object("allsat")
+            .field_u64("solver_calls", self.allsat.solver_calls)
+            .field_u64("solutions", self.allsat.cubes_emitted)
+            .field_u64("blocking_clauses", self.allsat.blocking_clauses)
+            .field_u64("literals_before_lift", self.allsat.literals_before_lift)
+            .field_u64("literals_after_lift", self.allsat.literals_after_lift)
+            .field_u64("cache_hits", self.allsat.cache_hits)
+            .field_u64("cache_misses", self.allsat.cache_misses)
+            .field_u64("graph_nodes", self.allsat.graph_nodes)
+            .end_object();
+        o.begin_object("preimage")
+            .field_u64("result_cubes", self.preimage.result_cubes)
+            .field_u64("iterations", self.preimage.iterations)
+            .field_u64("solver_calls", self.preimage.solver_calls)
+            .field_u64("blocking_clauses", self.preimage.blocking_clauses)
+            .field_u64("graph_nodes", self.preimage.graph_nodes)
+            .field_u64("cache_hits", self.preimage.cache_hits)
+            .field_u64("bdd_nodes", self.preimage.bdd_nodes)
+            .field_u64("sat_conflicts", self.preimage.sat_conflicts)
+            .field_u64("wall_time_ns", self.preimage.wall_time_ns)
+            .end_object();
+        o.finish()
+    }
+
+    /// Column names for [`Stats::to_csv_row`], as one CSV header line.
+    pub fn csv_header() -> String {
+        csv::row([
+            "engine",
+            "wall_time_ns",
+            "sat_solves",
+            "sat_decisions",
+            "sat_propagations",
+            "sat_conflicts",
+            "sat_restarts",
+            "sat_learnt_clauses",
+            "allsat_solver_calls",
+            "allsat_solutions",
+            "allsat_blocking_clauses",
+            "allsat_literals_before_lift",
+            "allsat_literals_after_lift",
+            "allsat_cache_hits",
+            "allsat_cache_misses",
+            "allsat_graph_nodes",
+            "preimage_result_cubes",
+            "preimage_iterations",
+            "preimage_bdd_nodes",
+        ])
+    }
+
+    /// Emits the snapshot as one CSV row matching [`Stats::csv_header`].
+    pub fn to_csv_row(&self) -> String {
+        let nums = [
+            self.wall_time_ns,
+            self.sat.solves,
+            self.sat.decisions,
+            self.sat.propagations,
+            self.sat.conflicts,
+            self.sat.restarts,
+            self.sat.learnt_clauses,
+            self.allsat.solver_calls,
+            self.allsat.cubes_emitted,
+            self.allsat.blocking_clauses,
+            self.allsat.literals_before_lift,
+            self.allsat.literals_after_lift,
+            self.allsat.cache_hits,
+            self.allsat.cache_misses,
+            self.allsat.graph_nodes,
+            self.preimage.result_cubes,
+            self.preimage.iterations,
+            self.preimage.bdd_nodes,
+        ];
+        let mut fields = vec![csv::escape_field(&self.engine)];
+        fields.extend(nums.iter().map(u64::to_string));
+        fields.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Stats {
+        let mut p = PreimageCounters {
+            result_cubes: 3,
+            iterations: 2,
+            wall_time_ns: 1234,
+            ..PreimageCounters::default()
+        };
+        p.allsat.cubes_emitted = 4;
+        p.allsat.blocking_clauses = 4;
+        p.allsat.sat.decisions = 17;
+        p.allsat.sat.conflicts = 5;
+        Stats::from_preimage("sat-blocking", &p)
+    }
+
+    #[test]
+    fn json_is_valid_and_carries_all_layers() {
+        let text = sample().to_json();
+        json::validate(&text).unwrap();
+        assert_eq!(json::extract_u64(&text, "decisions"), Some(17));
+        assert_eq!(json::extract_u64(&text, "conflicts"), Some(5));
+        assert_eq!(json::extract_u64(&text, "solutions"), Some(4));
+        assert_eq!(json::extract_u64(&text, "blocking_clauses"), Some(4));
+        assert_eq!(json::extract_u64(&text, "result_cubes"), Some(3));
+        assert!(text.contains("\"engine\":\"sat-blocking\""));
+    }
+
+    #[test]
+    fn from_snapshots_lift_nested_layers() {
+        let s = sample();
+        assert_eq!(s.sat.decisions, 17);
+        assert_eq!(s.allsat.cubes_emitted, 4);
+        assert_eq!(s.wall_time_ns, 1234);
+
+        let mut a = AllSatCounters::default();
+        a.sat.conflicts = 9;
+        let s = Stats::from_allsat("blocking", &a);
+        assert_eq!(s.sat.conflicts, 9);
+
+        let sat = SatCounters {
+            solves: 1,
+            ..SatCounters::default()
+        };
+        let s = Stats::from_sat("cdcl", &sat);
+        assert_eq!(s.sat.solves, 1);
+        assert_eq!(s.allsat, AllSatCounters::default());
+    }
+
+    #[test]
+    fn csv_row_matches_header_width() {
+        let header = Stats::csv_header();
+        let row = sample().to_csv_row();
+        assert_eq!(
+            header.split(',').count(),
+            row.split(',').count(),
+            "header: {header}\nrow: {row}"
+        );
+        assert!(row.starts_with("sat-blocking,1234,"));
+    }
+}

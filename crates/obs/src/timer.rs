@@ -1,0 +1,61 @@
+//! Wall-clock timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock timer.
+#[derive(Clone, Copy, Debug)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Timer::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturated into `u64` (584 years of headroom).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+/// Times one closure call, returning its result and the elapsed time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Timer::start();
+    let out = f();
+    (out, t.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_is_monotone() {
+        let t = Timer::start();
+        let a = t.elapsed_ns();
+        let b = t.elapsed_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let (v, d) = time(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(d <= Duration::from_secs(60));
+    }
+}

@@ -1,10 +1,9 @@
 //! BDD-based symbolic preimage computation (the classical baseline).
 
-use std::time::Instant;
-
 use presat_bdd::{BddId, BddManager};
 use presat_circuit::{Circuit, AigRef};
 use presat_logic::{Cube, CubeSet, Lit, Var};
+use presat_obs::{Event, ObsSink, Timer};
 
 use crate::engine::{PreimageEngine, PreimageResult, PreimageStats};
 use crate::state_set::StateSet;
@@ -134,8 +133,13 @@ impl PreimageEngine for BddPreimage {
         }
     }
 
-    fn preimage(&self, circuit: &Circuit, target: &StateSet) -> PreimageResult {
-        let start = Instant::now();
+    fn preimage_with_sink(
+        &self,
+        circuit: &Circuit,
+        target: &StateSet,
+        sink: &mut dyn ObsSink,
+    ) -> PreimageResult {
+        let timer = Timer::start();
         circuit.validate().expect("circuit must be complete");
         let n = circuit.num_latches();
         let num_in = circuit.num_inputs();
@@ -206,14 +210,18 @@ impl PreimageEngine for BddPreimage {
 
         // Result is over the X block: level j = latch position j.
         let states = StateSet::from_cubes(m.to_cube_set(result));
+        let wall_time_ns = timer.elapsed_ns();
+        sink.record(&Event::EngineDone { wall_time_ns });
         PreimageResult {
             stats: PreimageStats {
                 result_cubes: states.num_cubes() as u64,
                 bdd_nodes: m.node_count() as u64,
+                iterations: 1,
+                wall_time_ns,
                 ..PreimageStats::default()
             },
             states,
-            elapsed: start.elapsed(),
+            elapsed: timer.elapsed(),
         }
     }
 }

@@ -1,47 +1,21 @@
 //! The common interface of preimage engines.
 
-use std::fmt;
 use std::time::Duration;
 
 use presat_circuit::Circuit;
+use presat_obs::{NullSink, ObsSink};
 
 use crate::state_set::StateSet;
 
 /// Work and memory counters for one preimage computation, merging the
 /// SAT-side and BDD-side metrics into the columns the evaluation tables
 /// report.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PreimageStats {
-    /// Cubes in the returned state set.
-    pub result_cubes: u64,
-    /// Calls into the CDCL solver (SAT engines).
-    pub solver_calls: u64,
-    /// Blocking clauses added (blocking-style SAT engines).
-    pub blocking_clauses: u64,
-    /// Solution-graph nodes (success-driven engine).
-    pub graph_nodes: u64,
-    /// Success-cache hits (success-driven engine).
-    pub cache_hits: u64,
-    /// Peak BDD manager node count (BDD engine).
-    pub bdd_nodes: u64,
-    /// CDCL conflicts (SAT engines).
-    pub sat_conflicts: u64,
-}
-
-impl fmt::Display for PreimageStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "cubes={} calls={} blocks={} graph={} hits={} bdd={}",
-            self.result_cubes,
-            self.solver_calls,
-            self.blocking_clauses,
-            self.graph_nodes,
-            self.cache_hits,
-            self.bdd_nodes
-        )
-    }
-}
+///
+/// The canonical definition lives in `presat-obs` (as
+/// [`presat_obs::PreimageCounters`], which also nests the full all-SAT and
+/// sub-solver counter snapshots plus iteration/wall-time fields); this
+/// alias keeps the historical name.
+pub use presat_obs::PreimageCounters as PreimageStats;
 
 /// The outcome of one preimage computation.
 #[derive(Clone, Debug)]
@@ -59,8 +33,20 @@ pub trait PreimageEngine {
     /// A short name for tables (`"sat-blocking"`, `"bdd-sub"`, …).
     fn name(&self) -> String;
 
-    /// Computes `Pre(target)` for `circuit`.
-    fn preimage(&self, circuit: &Circuit, target: &StateSet) -> PreimageResult;
+    /// Computes `Pre(target)` for `circuit`, forwarding enumeration-level
+    /// events (solutions, blocking clauses, cache hits, completion) to
+    /// `sink` as they happen.
+    fn preimage_with_sink(
+        &self,
+        circuit: &Circuit,
+        target: &StateSet,
+        sink: &mut dyn ObsSink,
+    ) -> PreimageResult;
+
+    /// [`PreimageEngine::preimage_with_sink`] without an event trace.
+    fn preimage(&self, circuit: &Circuit, target: &StateSet) -> PreimageResult {
+        self.preimage_with_sink(circuit, target, &mut NullSink)
+    }
 }
 
 #[cfg(test)]

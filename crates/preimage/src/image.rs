@@ -37,6 +37,7 @@ pub fn sat_image(circuit: &Circuit, source: &StateSet) -> PreimageResult {
     let problem = AllSatProblem::new(enc.cnf().clone(), enc.next_state_vars());
     let result = SuccessDrivenAllSat::new().enumerate(&problem);
     let states = StateSet::from_cubes(result.cubes.clone());
+    let elapsed = start.elapsed();
     PreimageResult {
         stats: PreimageStats {
             result_cubes: result.cubes.len() as u64,
@@ -46,9 +47,12 @@ pub fn sat_image(circuit: &Circuit, source: &StateSet) -> PreimageResult {
             cache_hits: result.stats.cache_hits,
             bdd_nodes: 0,
             sat_conflicts: result.stats.sat_conflicts,
+            iterations: 1,
+            wall_time_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            allsat: result.stats,
         },
         states,
-        elapsed: start.elapsed(),
+        elapsed,
     }
 }
 

@@ -58,7 +58,7 @@ pub use engine::{PreimageEngine, PreimageResult, PreimageStats};
 pub use image::{bdd_image, forward_reach, sat_image, sequential_depth};
 pub use justify::{justify, Trace, TraceStep};
 pub use output::excitation_set;
-pub use reach::{backward_reach, ReachOptions, ReachReport};
+pub use reach::{backward_reach, backward_reach_with_sink, ReachIteration, ReachOptions, ReachReport};
 pub use sat_engine::SatPreimage;
 pub use unrolled::{k_step_preimage, UnrolledEncoding};
 pub use state_set::StateSet;

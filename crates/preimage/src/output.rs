@@ -67,6 +67,7 @@ pub fn excitation_set(circuit: &Circuit, output_index: usize, value: bool) -> Pr
     let problem = AllSatProblem::new(cnf, Var::range(n).collect());
     let result = SuccessDrivenAllSat::new().enumerate(&problem);
     let states = StateSet::from_cubes(result.cubes.clone());
+    let elapsed = start.elapsed();
     PreimageResult {
         stats: PreimageStats {
             result_cubes: result.cubes.len() as u64,
@@ -76,9 +77,12 @@ pub fn excitation_set(circuit: &Circuit, output_index: usize, value: bool) -> Pr
             cache_hits: result.stats.cache_hits,
             bdd_nodes: 0,
             sat_conflicts: result.stats.sat_conflicts,
+            iterations: 1,
+            wall_time_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            allsat: result.stats,
         },
         states,
-        elapsed: start.elapsed(),
+        elapsed,
     }
 }
 

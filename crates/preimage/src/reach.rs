@@ -5,8 +5,9 @@ use std::time::{Duration, Instant};
 use presat_allsat::{SolutionGraph, SolutionNodeId};
 use presat_circuit::Circuit;
 use presat_logic::Var;
+use presat_obs::{Event, NullSink, ObsSink, Timer};
 
-use crate::engine::PreimageEngine;
+use crate::engine::{PreimageEngine, PreimageStats};
 use crate::state_set::StateSet;
 
 /// Options for the reachability loop.
@@ -48,6 +49,11 @@ pub struct ReachReport {
     pub iterations: Vec<ReachIteration>,
     /// `true` if a fixed point was reached (no iteration cap hit).
     pub converged: bool,
+    /// Aggregated engine counters over every iteration: work counters are
+    /// summed, peak sizes take the maximum, `iterations` is the
+    /// fixed-point depth (number of preimage calls), and `wall_time_ns`
+    /// covers the whole loop.
+    pub stats: PreimageStats,
 }
 
 /// Computes the set of states from which `target` is reachable, by
@@ -80,6 +86,20 @@ pub fn backward_reach(
     target: &StateSet,
     options: ReachOptions,
 ) -> ReachReport {
+    backward_reach_with_sink(engine, circuit, target, options, &mut NullSink)
+}
+
+/// [`backward_reach`] with an event trace: forwards each inner preimage
+/// call's events to `sink` and additionally records one
+/// [`Event::ReachIteration`] per fixed-point iteration.
+pub fn backward_reach_with_sink(
+    engine: &dyn PreimageEngine,
+    circuit: &Circuit,
+    target: &StateSet,
+    options: ReachOptions,
+    sink: &mut dyn ObsSink,
+) -> ReachReport {
+    let timer = Timer::start();
     let n = circuit.num_latches();
     let position_vars: Vec<Var> = Var::range(n).collect();
     let mut graph = SolutionGraph::new(n);
@@ -88,6 +108,7 @@ pub fn backward_reach(
     let mut frontier_node = reached;
     let mut iterations = Vec::new();
     let mut converged = false;
+    let mut stats = PreimageStats::default();
 
     for iteration in 1.. {
         if frontier_node == SolutionNodeId::BOTTOM {
@@ -102,8 +123,9 @@ pub fn backward_reach(
         }
         let frontier = StateSet::from_cubes(graph.to_cube_set(frontier_node, &position_vars));
         let start = Instant::now();
-        let pre = engine.preimage(circuit, &frontier);
+        let pre = engine.preimage_with_sink(circuit, &frontier, sink);
         let elapsed = start.elapsed();
+        stats.absorb(&pre.stats);
 
         let pre_node = graph.add_cube_set(pre.states.cubes(), &position_vars);
         let new_node = graph.diff(pre_node, reached);
@@ -118,10 +140,16 @@ pub fn backward_reach(
             new_node
         };
         reached = graph.union(reached, new_node);
+        let new_states = graph.minterm_count(new_node);
+        sink.record(&Event::ReachIteration {
+            iteration: iteration as u32,
+            frontier_cubes: frontier.num_cubes() as u64,
+            new_states: u64::try_from(new_states).unwrap_or(u64::MAX),
+        });
         iterations.push(ReachIteration {
             iteration,
             frontier_cubes: frontier.num_cubes(),
-            new_states: graph.minterm_count(new_node),
+            new_states,
             reached_states: graph.minterm_count(reached),
             elapsed,
         });
@@ -133,11 +161,19 @@ pub fn backward_reach(
     }
 
     let reached_states = graph.minterm_count(reached);
+    let reached_set = StateSet::from_cubes(graph.to_cube_set(reached, &position_vars));
+    stats.iterations = iterations.len() as u64;
+    stats.result_cubes = reached_set.num_cubes() as u64;
+    stats.wall_time_ns = timer.elapsed_ns();
+    sink.record(&Event::EngineDone {
+        wall_time_ns: stats.wall_time_ns,
+    });
     ReachReport {
-        reached: StateSet::from_cubes(graph.to_cube_set(reached, &position_vars)),
+        reached: reached_set,
         reached_states,
         iterations,
         converged,
+        stats,
     }
 }
 

@@ -1,13 +1,12 @@
 //! SAT-enumerative preimage engines.
 
-use std::time::Instant;
-
 use presat_allsat::{
     AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, SignatureMode,
     SuccessDrivenAllSat,
 };
 use presat_circuit::Circuit;
 use presat_logic::CubeSet;
+use presat_obs::{Event, ObsSink, Timer};
 
 use crate::encoding::StepEncoding;
 use crate::engine::{PreimageEngine, PreimageResult, PreimageStats};
@@ -122,22 +121,31 @@ impl PreimageEngine for SatPreimage {
         }
     }
 
-    fn preimage(&self, circuit: &Circuit, target: &StateSet) -> PreimageResult {
-        let start = Instant::now();
+    fn preimage_with_sink(
+        &self,
+        circuit: &Circuit,
+        target: &StateSet,
+        sink: &mut dyn ObsSink,
+    ) -> PreimageResult {
+        let timer = Timer::start();
         let enc = StepEncoding::build_with_env(circuit, target, self.env.as_ref());
         let problem = AllSatProblem::new(enc.cnf().clone(), enc.state_vars());
         let result = match self.kind {
-            SatEngineKind::Blocking => BlockingAllSat::new().enumerate(&problem),
-            SatEngineKind::MinBlocking => MinimizedBlockingAllSat::new().enumerate(&problem),
+            SatEngineKind::Blocking => BlockingAllSat::new().enumerate_with_sink(&problem, sink),
+            SatEngineKind::MinBlocking => {
+                MinimizedBlockingAllSat::new().enumerate_with_sink(&problem, sink)
+            }
             SatEngineKind::SuccessDriven {
                 signature,
                 model_guidance,
             } => SuccessDrivenAllSat::new()
                 .with_signature(signature)
                 .with_model_guidance(model_guidance)
-                .enumerate(&problem),
+                .enumerate_with_sink(&problem, sink),
         };
         let states = StateSet::from_cubes(result.cubes.clone());
+        let wall_time_ns = timer.elapsed_ns();
+        sink.record(&Event::EngineDone { wall_time_ns });
         PreimageResult {
             stats: PreimageStats {
                 result_cubes: result.cubes.len() as u64,
@@ -147,9 +155,12 @@ impl PreimageEngine for SatPreimage {
                 cache_hits: result.stats.cache_hits,
                 bdd_nodes: 0,
                 sat_conflicts: result.stats.sat_conflicts,
+                iterations: 1,
+                wall_time_ns,
+                allsat: result.stats,
             },
             states,
-            elapsed: start.elapsed(),
+            elapsed: timer.elapsed(),
         }
     }
 }

@@ -165,6 +165,7 @@ pub fn k_step_preimage(circuit: &Circuit, target: &StateSet, k: usize) -> Preima
     let problem = AllSatProblem::new(enc.cnf().clone(), enc.frame0_vars());
     let result = SuccessDrivenAllSat::new().enumerate(&problem);
     let states = StateSet::from_cubes(result.cubes.clone());
+    let elapsed = start.elapsed();
     PreimageResult {
         stats: PreimageStats {
             result_cubes: result.cubes.len() as u64,
@@ -174,9 +175,12 @@ pub fn k_step_preimage(circuit: &Circuit, target: &StateSet, k: usize) -> Preima
             cache_hits: result.stats.cache_hits,
             bdd_nodes: 0,
             sat_conflicts: result.stats.sat_conflicts,
+            iterations: k as u64,
+            wall_time_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            allsat: result.stats,
         },
         states,
-        elapsed: start.elapsed(),
+        elapsed,
     }
 }
 

@@ -271,8 +271,8 @@ mod tests {
 
     #[test]
     fn equivalence_preserved_on_random_formulas() {
-        use rand::prelude::*;
-        let mut rng = StdRng::seed_from_u64(17);
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(17);
         for round in 0..80 {
             let n = 7;
             let mut cnf = Cnf::new(n);

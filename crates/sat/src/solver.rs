@@ -899,8 +899,8 @@ mod tests {
 
     #[test]
     fn agrees_with_truth_table_on_random_3sat() {
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(42);
         for round in 0..60 {
             let n = 6 + round % 4; // 6..9 vars
             let m = (n as f64 * (2.0 + (round % 5) as f64 * 0.7)) as usize;
@@ -925,8 +925,8 @@ mod tests {
 
     #[test]
     fn repeated_assumption_solves_agree_with_oracle() {
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(7);
         let n = 8;
         let mut cnf = presat_logic::Cnf::new(n);
         for _ in 0..20 {

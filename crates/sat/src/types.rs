@@ -100,41 +100,11 @@ impl SolveResult {
 
 /// Running counters describing the work a solver has done; useful for the
 /// benchmark tables and for regression tests on search behaviour.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct SolverStats {
-    /// Number of top-level `solve*` calls.
-    pub solves: u64,
-    /// Number of decisions made.
-    pub decisions: u64,
-    /// Number of literals propagated.
-    pub propagations: u64,
-    /// Number of conflicts analyzed.
-    pub conflicts: u64,
-    /// Number of restarts performed.
-    pub restarts: u64,
-    /// Number of learnt clauses currently in the database.
-    pub learnt_clauses: u64,
-    /// Number of learnt clauses deleted by database reduction.
-    pub deleted_clauses: u64,
-    /// Number of problem (non-learnt) clauses added.
-    pub problem_clauses: u64,
-}
-
-impl fmt::Display for SolverStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "solves={} decisions={} propagations={} conflicts={} restarts={} learnts={} deleted={}",
-            self.solves,
-            self.decisions,
-            self.propagations,
-            self.conflicts,
-            self.restarts,
-            self.learnt_clauses,
-            self.deleted_clauses
-        )
-    }
-}
+///
+/// The canonical definition lives in `presat-obs` (as
+/// [`presat_obs::SatCounters`]) so the observability layer can snapshot it
+/// without depending on the solver; this alias keeps the historical name.
+pub use presat_obs::SatCounters as SolverStats;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic build + full test suite + lint, all offline.
+# Referenced from ROADMAP.md; CI and pre-merge checks run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: OK"

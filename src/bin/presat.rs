@@ -19,6 +19,8 @@
 //! or a cube `latch=value,...` such as `3=1,0=0` (unlisted latches free).
 //! `--engine` selects `blocking`, `min-blocking`, `success-driven`
 //! (default), `bdd-sub`, or `bdd-mono` where applicable.
+//! `--stats` appends one JSON object with the run's counters (SAT,
+//! all-SAT, and preimage layers) to stdout — see `presat_obs::Stats`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -32,6 +34,7 @@ use presat::preimage::{
     backward_reach, bdd_image, justify, sat_image, BddPreimage, PreimageEngine, ReachOptions,
     SatPreimage, StateSet,
 };
+use presat::obs::{Stats, Timer};
 use presat::sat::{SolveResult, Solver};
 
 fn main() -> ExitCode {
@@ -84,6 +87,7 @@ fn print_usage() {
          \x20 depth <circuit> [--initial <spec>]\n\
          options: --engine blocking|min-blocking|success-driven|bdd-sub|bdd-mono\n\
          \x20        --max-iter <n>\n\
+         \x20        --stats   (emit a JSON counters object on stdout)\n\
          spec:    a state bit pattern (42, 0b1010, 0x2a) or a cube `j=v,...`"
     );
 }
@@ -94,6 +98,11 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// True if the bare flag is present.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 fn parse_bits(text: &str) -> Result<u64, String> {
@@ -170,8 +179,15 @@ fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let cnf = dimacs::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let timer = Timer::start();
     let mut solver = Solver::from_cnf(&cnf);
-    match solver.solve() {
+    let solved = solver.solve();
+    if has_flag(args, "--stats") {
+        let mut stats = Stats::from_sat("cdcl", solver.stats());
+        stats.wall_time_ns = timer.elapsed_ns();
+        println!("{}", stats.to_json());
+    }
+    match solved {
         SolveResult::Sat(model) => {
             println!("s SATISFIABLE");
             let mut line = String::from("v");
@@ -207,12 +223,18 @@ fn cmd_allsat(args: &[String]) -> Result<ExitCode, String> {
     let important: Vec<Var> = Var::range(k).collect();
     let problem = AllSatProblem::new(cnf, important.clone());
     let engine_name = flag_value(args, "--engine").unwrap_or("success-driven");
+    let timer = Timer::start();
     let result = match engine_name {
         "blocking" => BlockingAllSat::new().enumerate(&problem),
         "min-blocking" => MinimizedBlockingAllSat::new().enumerate(&problem),
         "success-driven" => SuccessDrivenAllSat::new().enumerate(&problem),
         other => return Err(format!("unknown engine {other:?}")),
     };
+    if has_flag(args, "--stats") {
+        let mut stats = Stats::from_allsat(engine_name, &result.stats);
+        stats.wall_time_ns = timer.elapsed_ns();
+        println!("{}", stats.to_json());
+    }
     println!(
         "c {} cubes, {} minterms over {} variables [{}]",
         result.cubes.len(),
@@ -251,6 +273,9 @@ fn cmd_preimage(args: &[String]) -> Result<ExitCode, String> {
     )?;
     let engine = sat_engine_from_flag(args)?;
     let result = engine.preimage(&circuit, &target);
+    if has_flag(args, "--stats") {
+        println!("{}", Stats::from_preimage(engine.name(), &result.stats).to_json());
+    }
     println!(
         "{}: {} states in {} cubes [{}] in {:.2?}",
         engine.name(),
@@ -311,6 +336,9 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
             ..ReachOptions::default()
         },
     );
+    if has_flag(args, "--stats") {
+        println!("{}", Stats::from_preimage(engine.name(), &report.stats).to_json());
+    }
     println!(
         "{}: {} iterations, {} backward-reachable states, converged={}",
         engine.name(),

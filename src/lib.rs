@@ -11,7 +11,9 @@
 //!   simulation, and the benchmark-circuit generators;
 //! * [`allsat`] — the all-solutions engines (blocking, minimized blocking,
 //!   and the novel success-driven solver with its solution graph);
-//! * [`preimage`] — preimage computation and backward reachability.
+//! * [`preimage`] — preimage computation and backward reachability;
+//! * [`obs`] — zero-dependency observability: per-layer counters, event
+//!   sinks, and the [`obs::Stats`] snapshot with JSON/CSV emitters.
 //!
 //! # Quickstart
 //!
@@ -35,5 +37,6 @@ pub use presat_allsat as allsat;
 pub use presat_bdd as bdd;
 pub use presat_circuit as circuit;
 pub use presat_logic as logic;
+pub use presat_obs as obs;
 pub use presat_preimage as preimage;
 pub use presat_sat as sat;

@@ -210,6 +210,64 @@ fn depth_command() {
     assert!(String::from_utf8_lossy(&out.stdout).contains(": 7"));
 }
 
+/// `--stats` emits one well-formed JSON object whose counters come from
+/// all three instrumented layers (CDCL, all-SAT, preimage).
+#[test]
+fn stats_flag_emits_json_counters() {
+    use presat::obs::json;
+
+    // preimage: SAT + all-SAT + preimage layers all populated.
+    let path = write_temp("cnt3s.aag", COUNTER3_AAG);
+    let out = presat(&[
+        "preimage",
+        path.to_str().unwrap(),
+        "--target",
+        "5",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON line in {stdout}"));
+    json::validate(json_line).unwrap_or_else(|e| panic!("{e}\n{json_line}"));
+    for key in ["decisions", "conflicts", "solutions", "blocking_clauses", "result_cubes"] {
+        assert!(
+            json::extract_u64(json_line, key).is_some(),
+            "missing {key}: {json_line}"
+        );
+    }
+    assert!(json::extract_u64(json_line, "wall_time_ns").unwrap_or(0) > 0);
+    // The preimage of one counter state is one state: one solver call found
+    // it, so the all-SAT layer genuinely counted.
+    assert!(json::extract_u64(json_line, "solver_calls").unwrap_or(0) > 0);
+
+    // solve: the SAT layer alone.
+    let cnf = write_temp("stats.cnf", "p cnf 2 2\n1 2 0\n-1 2 0\n");
+    let out = presat(&["solve", cnf.to_str().unwrap(), "--stats"]);
+    assert_eq!(out.status.code(), Some(10));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout.lines().find(|l| l.starts_with('{')).expect("JSON line");
+    json::validate(json_line).unwrap();
+    assert_eq!(json::extract_u64(json_line, "solves"), Some(1));
+
+    // allsat and reach accept the flag too.
+    let out = presat(&["allsat", cnf.to_str().unwrap(), "--project", "1", "--stats"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout.lines().find(|l| l.starts_with('{')).expect("JSON line");
+    json::validate(json_line).unwrap();
+    assert!(json::extract_u64(json_line, "solutions").unwrap_or(0) > 0);
+
+    let out = presat(&["reach", path.to_str().unwrap(), "--target", "0", "--stats"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout.lines().find(|l| l.starts_with('{')).expect("JSON line");
+    json::validate(json_line).unwrap();
+    assert_eq!(json::extract_u64(json_line, "iterations"), Some(8));
+}
+
 #[test]
 fn usage_without_arguments() {
     let out = presat(&[]);

@@ -133,3 +133,32 @@ fn random_circuit_sweep() {
         check(&c, &StateSet::from_partial(&[(2, seed % 2 == 0)]));
     }
 }
+
+/// SAT and BDD preimages agree on 20 seeded random circuits, and every
+/// run's counter snapshot serializes to well-formed JSON carrying the
+/// engine's wall time.
+#[test]
+fn sat_and_bdd_agree_with_valid_json_stats() {
+    use presat::obs::{json, Stats};
+    for seed in 0..20u64 {
+        let c = generators::random_dag(3, 4, 30, seed);
+        let target = StateSet::from_state_bits(seed % 16, 4);
+        let sat = SatPreimage::success_driven().preimage(&c, &target);
+        let bdd = BddPreimage::substitution().preimage(&c, &target);
+        assert!(
+            sat.states.semantically_eq(&bdd.states, 4),
+            "SAT and BDD preimages diverge on random_dag seed {seed}"
+        );
+        for (engine, result) in [("sat-success-driven", &sat), ("bdd-sub", &bdd)] {
+            let stats = Stats::from_preimage(engine, &result.stats);
+            let text = stats.to_json();
+            json::validate(&text).unwrap_or_else(|e| panic!("seed {seed} {engine}: {e}\n{text}"));
+            assert_eq!(
+                json::extract_u64(&text, "result_cubes"),
+                Some(result.stats.result_cubes),
+                "seed {seed} {engine}"
+            );
+            assert!(stats.wall_time_ns > 0, "seed {seed} {engine}: no wall time");
+        }
+    }
+}

@@ -1,92 +1,160 @@
 //! Fuzz-style robustness: the text parsers must return errors, never
 //! panic, on arbitrary input — and must accept everything their writers
-//! produce.
-
-use proptest::prelude::*;
+//! produce. Formerly proptest-based; now seeded random-noise loops on the
+//! in-tree [`SplitMix64`] PRNG, plus the explicit regression cases the old
+//! fuzzer once discovered.
 
 use presat::circuit::{aiger, bench, generators};
 use presat::logic::dimacs;
+use presat::logic::rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random string of up to `max_len` printable-ish Unicode scalars
+/// (control characters included — parsers must survive those too).
+fn random_text(rng: &mut SplitMix64, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len)
+        .map(|_| {
+            // Below the surrogate range, so every draw is a valid scalar.
+            char::from_u32(rng.gen_u64_below(0xD800) as u32).unwrap_or('\u{FFFD}')
+        })
+        .collect()
+}
 
-    /// Arbitrary bytes-as-text never panic any parser.
-    #[test]
-    fn parsers_never_panic_on_noise(text in "\\PC{0,200}") {
+fn random_lowercase(rng: &mut SplitMix64, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..max + 1);
+    (0..len)
+        .map(|_| char::from(b'a' + rng.gen_range(0..26) as u8))
+        .collect()
+}
+
+/// Arbitrary text never panics any parser.
+#[test]
+fn parsers_never_panic_on_noise() {
+    let mut rng = SplitMix64::seed_from_u64(0x6001);
+    for _ in 0..256 {
+        let text = random_text(&mut rng, 200);
         let _ = dimacs::parse(&text);
         let _ = bench::parse(&text);
         let _ = aiger::parse(&text);
     }
+}
 
-    /// Structured-looking but malformed DIMACS never panics.
-    #[test]
-    fn dimacs_structured_noise(
-        header in "p cnf [0-9]{1,3} [0-9]{1,3}",
-        body in prop::collection::vec(-20i32..20, 0..40),
-    ) {
-        let mut text = header;
-        text.push('\n');
-        for v in body {
+/// Structured-looking but malformed DIMACS never panics.
+#[test]
+fn dimacs_structured_noise() {
+    let mut rng = SplitMix64::seed_from_u64(0x6002);
+    for _ in 0..256 {
+        let mut text = format!(
+            "p cnf {} {}\n",
+            rng.gen_range(0..1000),
+            rng.gen_range(0..1000)
+        );
+        for _ in 0..rng.gen_range(0..40) {
+            let v = rng.gen_range(0..40) as i64 - 20;
             text.push_str(&format!("{v} "));
         }
         text.push('\n');
         let _ = dimacs::parse(&text);
     }
+}
 
-    /// Structured-looking but malformed AIGER never panics.
-    #[test]
-    fn aiger_structured_noise(
-        m in 0usize..20, i in 0usize..5, l in 0usize..5,
-        o in 0usize..5, a in 0usize..5,
-        body in prop::collection::vec(
-            prop::collection::vec(0u64..64, 1..4), 0..16),
-    ) {
-        let mut text = format!("aag {m} {i} {l} {o} {a}\n");
-        for row in body {
-            let words: Vec<String> = row.iter().map(u64::to_string).collect();
+/// Structured-looking but malformed AIGER never panics.
+#[test]
+fn aiger_structured_noise() {
+    let mut rng = SplitMix64::seed_from_u64(0x6003);
+    for _ in 0..256 {
+        let mut text = format!(
+            "aag {} {} {} {} {}\n",
+            rng.gen_range(0..20),
+            rng.gen_range(0..5),
+            rng.gen_range(0..5),
+            rng.gen_range(0..5),
+            rng.gen_range(0..5)
+        );
+        for _ in 0..rng.gen_range(0..16) {
+            let words: Vec<String> = (0..rng.gen_range(1..4))
+                .map(|_| rng.gen_u64_below(64).to_string())
+                .collect();
             text.push_str(&words.join(" "));
             text.push('\n');
         }
         let _ = aiger::parse(&text);
     }
+}
 
-    /// Structured-looking but malformed BENCH never panics.
-    #[test]
-    fn bench_structured_noise(
-        lines in prop::collection::vec(
-            prop_oneof![
-                "INPUT\\([a-z]{1,3}\\)",
-                "OUTPUT\\([a-z]{1,3}\\)",
-                "[a-z]{1,3} = (AND|OR|NOT|DFF|XOR|FROB)\\([a-z]{1,3}(, [a-z]{1,3})?\\)",
-                "[a-z ]{0,10}",
-            ],
-            0..12,
-        ),
-    ) {
-        let text = lines.join("\n");
-        let _ = bench::parse(&text);
+/// Structured-looking but malformed BENCH never panics.
+#[test]
+fn bench_structured_noise() {
+    let mut rng = SplitMix64::seed_from_u64(0x6004);
+    let gates = ["AND", "OR", "NOT", "DFF", "XOR", "FROB"];
+    for _ in 0..256 {
+        let mut lines = Vec::new();
+        for _ in 0..rng.gen_range(0..12) {
+            let line = match rng.gen_range(0..4) {
+                0 => format!("INPUT({})", random_lowercase(&mut rng, 1, 3)),
+                1 => format!("OUTPUT({})", random_lowercase(&mut rng, 1, 3)),
+                2 => {
+                    let gate = gates[rng.gen_range(0..gates.len())];
+                    let a = random_lowercase(&mut rng, 1, 3);
+                    let args = if rng.gen_bool(0.5) {
+                        format!("{a}, {}", random_lowercase(&mut rng, 1, 3))
+                    } else {
+                        a
+                    };
+                    format!("{} = {gate}({args})", random_lowercase(&mut rng, 1, 3))
+                }
+                _ => {
+                    let len = rng.gen_range(0..11);
+                    (0..len)
+                        .map(|_| {
+                            if rng.gen_bool(0.2) {
+                                ' '
+                            } else {
+                                char::from(b'a' + rng.gen_range(0..26) as u8)
+                            }
+                        })
+                        .collect()
+                }
+            };
+            lines.push(line);
+        }
+        let _ = bench::parse(&lines.join("\n"));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Regression: the old fuzzer's one saved shrink — an AIGER header
+/// declaring one latch (`aag 1 0 1 0 0`) whose latch line carries an
+/// out-of-range literal (`44 0`). Must error, not panic.
+#[test]
+fn aiger_latch_literal_out_of_range_regression() {
+    assert!(aiger::parse("aag 1 0 1 0 0\n44 0\n").is_err());
+}
 
-    /// Random sequential circuits survive write→parse round trips in both
-    /// netlist formats with transition-exact behaviour.
-    #[test]
-    fn random_circuits_round_trip(
-        seed in 0u64..1_000_000,
-        inputs in 1usize..4,
-        latches in 1usize..5,
-        gates in 0usize..40,
-    ) {
-        use presat::circuit::sim;
+/// Random sequential circuits survive write→parse round trips in both
+/// netlist formats with transition-exact behaviour.
+#[test]
+fn random_circuits_round_trip() {
+    use presat::circuit::sim;
+    let mut rng = SplitMix64::seed_from_u64(0x6005);
+    for case in 0..24 {
+        let seed = rng.gen_u64_below(1_000_000);
+        let inputs = rng.gen_range(1..4);
+        let latches = rng.gen_range(1..5);
+        let gates = rng.gen_range(0..40);
         let c = generators::random_dag(inputs, latches, gates, seed);
         let reference = sim::enumerate_transitions(&c);
         let via_bench = bench::parse(&bench::write(&c)).expect("bench round trip");
-        prop_assert_eq!(sim::enumerate_transitions(&via_bench), reference.clone());
+        assert_eq!(
+            sim::enumerate_transitions(&via_bench),
+            reference,
+            "case {case} (seed {seed})"
+        );
         let via_aiger = aiger::parse(&aiger::write(&c)).expect("aiger round trip");
-        prop_assert_eq!(sim::enumerate_transitions(&via_aiger), reference);
+        assert_eq!(
+            sim::enumerate_transitions(&via_aiger),
+            reference,
+            "case {case} (seed {seed})"
+        );
     }
 }
 

@@ -1,96 +1,109 @@
-//! Workspace-wide property-based tests (proptest): the invariants that tie
-//! the crates together.
+//! Workspace-wide randomized property tests: the invariants that tie the
+//! crates together. Formerly proptest-based; now a seeded-iteration
+//! harness on the in-tree [`SplitMix64`] PRNG so the suite builds with
+//! zero external dependencies. Every case is reproducible: the failure
+//! message carries the iteration index, and the generators are pure
+//! functions of the seed.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 use presat::allsat::{
     AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, SolutionGraph,
     SuccessDrivenAllSat,
 };
 use presat::bdd::BddManager;
+use presat::logic::rng::SplitMix64;
 use presat::logic::{truth_table, Cnf, Cube, CubeSet, Lit, Var};
 use presat::sat::{SolveResult, Solver};
 
-/// Strategy: a random CNF over `nv` variables with up to `max_clauses`
-/// clauses of width 1–4.
-fn arb_cnf(nv: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    prop::collection::vec(
-        prop::collection::vec((0..nv, any::<bool>()), 1..=4),
-        0..=max_clauses,
-    )
-    .prop_map(move |clauses| {
-        let mut cnf = Cnf::new(nv);
-        for c in clauses {
-            cnf.add_clause(
-                c.into_iter()
+/// A random CNF over `nv` variables with up to `max_clauses` clauses of
+/// width 1–4 (duplicate literals allowed, like the old proptest strategy).
+fn random_cnf(rng: &mut SplitMix64, nv: usize, max_clauses: usize) -> Cnf {
+    let mut cnf = Cnf::new(nv);
+    for _ in 0..rng.gen_range(0..max_clauses + 1) {
+        let width = rng.gen_range(1..5);
+        let lits: Vec<Lit> = (0..width)
+            .map(|_| Lit::with_phase(Var::new(rng.gen_range(0..nv)), rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+/// A random cube set over `nv` variables with up to `max_cubes` cubes.
+fn random_cube_set(rng: &mut SplitMix64, nv: usize, max_cubes: usize) -> CubeSet {
+    (0..rng.gen_range(0..max_cubes + 1))
+        .map(|_| {
+            let mut phases = BTreeMap::new();
+            for _ in 0..rng.gen_range(0..nv + 1) {
+                phases.insert(rng.gen_range(0..nv), rng.gen_bool(0.5));
+            }
+            Cube::from_lits(
+                phases
+                    .into_iter()
                     .map(|(v, pos)| Lit::with_phase(Var::new(v), pos)),
-            );
-        }
-        cnf
-    })
+            )
+            .expect("btree keys are distinct")
+        })
+        .collect()
 }
 
-/// Strategy: a random cube set over `nv` variables.
-fn arb_cube_set(nv: usize, max_cubes: usize) -> impl Strategy<Value = CubeSet> {
-    prop::collection::vec(
-        prop::collection::btree_map(0..nv, any::<bool>(), 0..=nv),
-        0..=max_cubes,
-    )
-    .prop_map(|cubes| {
-        cubes
-            .into_iter()
-            .map(|m| {
-                Cube::from_lits(
-                    m.into_iter()
-                        .map(|(v, pos)| Lit::with_phase(Var::new(v), pos)),
-                )
-                .expect("btree keys are distinct")
-            })
-            .collect()
-    })
-}
+const CASES: usize = 64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The CDCL solver agrees with the truth table, and SAT answers carry
-    /// genuine models.
-    #[test]
-    fn solver_agrees_with_truth_table(cnf in arb_cnf(8, 24)) {
+/// The CDCL solver agrees with the truth table, and SAT answers carry
+/// genuine models.
+#[test]
+fn solver_agrees_with_truth_table() {
+    let mut rng = SplitMix64::seed_from_u64(0x5001);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 8, 24);
         let expected = truth_table::is_satisfiable(&cnf);
         let mut solver = Solver::from_cnf(&cnf);
         match solver.solve() {
             SolveResult::Sat(model) => {
-                prop_assert!(expected);
-                prop_assert!(cnf.is_satisfied_by(&model));
+                assert!(expected, "case {case}: solver SAT but oracle UNSAT");
+                assert!(cnf.is_satisfied_by(&model), "case {case}: bogus model");
             }
-            SolveResult::Unsat => prop_assert!(!expected),
+            SolveResult::Unsat => assert!(!expected, "case {case}: solver UNSAT but oracle SAT"),
         }
     }
+}
 
-    /// DIMACS round-trips losslessly.
-    #[test]
-    fn dimacs_round_trip(cnf in arb_cnf(10, 20)) {
+/// DIMACS round-trips losslessly.
+#[test]
+fn dimacs_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0x5002);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 10, 20);
         let text = presat::logic::dimacs::write(&cnf);
         let back = presat::logic::dimacs::parse(&text).expect("own output parses");
-        prop_assert_eq!(back, cnf);
+        assert_eq!(back, cnf, "case {case}");
     }
+}
 
-    /// BDD `from_cnf` is a faithful function representation.
-    #[test]
-    fn bdd_matches_truth_table(cnf in arb_cnf(7, 16)) {
+/// BDD `from_cnf` is a faithful function representation.
+#[test]
+fn bdd_matches_truth_table() {
+    let mut rng = SplitMix64::seed_from_u64(0x5003);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 7, 16);
         let mut m = BddManager::new(7);
         let f = m.from_cnf(&cnf);
-        prop_assert_eq!(
+        assert_eq!(
             m.satcount(f, 7) as u64,
-            truth_table::count_models(&cnf)
+            truth_table::count_models(&cnf),
+            "case {case}"
         );
     }
+}
 
-    /// All three all-SAT engines compute the same projection as the
-    /// truth-table oracle.
-    #[test]
-    fn allsat_engines_agree_with_oracle(cnf in arb_cnf(7, 14)) {
+/// All three all-SAT engines compute the same projection as the
+/// truth-table oracle.
+#[test]
+fn allsat_engines_agree_with_oracle() {
+    let mut rng = SplitMix64::seed_from_u64(0x5004);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 7, 14);
         let important: Vec<Var> = Var::range(4).collect();
         let problem = AllSatProblem::new(cnf.clone(), important.clone());
         let expect = truth_table::project_models_set(&cnf, &important);
@@ -100,26 +113,32 @@ proptest! {
             SuccessDrivenAllSat::new().enumerate(&problem).cubes,
         ];
         for r in results {
-            prop_assert!(r.semantically_eq(&expect, &important));
+            assert!(r.semantically_eq(&expect, &important), "case {case}");
         }
     }
+}
 
-    /// The solution graph round-trips cube sets and counts exactly.
-    #[test]
-    fn solution_graph_round_trip(set in arb_cube_set(6, 10)) {
+/// The solution graph round-trips cube sets and counts exactly.
+#[test]
+fn solution_graph_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0x5005);
+    for case in 0..CASES {
+        let set = random_cube_set(&mut rng, 6, 10);
         let vars: Vec<Var> = Var::range(6).collect();
         let (g, root) = SolutionGraph::from_cube_set(&set, &vars);
-        prop_assert_eq!(g.minterm_count(root), set.minterm_count(6));
+        assert_eq!(g.minterm_count(root), set.minterm_count(6), "case {case}");
         let back = g.to_cube_set(root, &vars);
-        prop_assert!(back.semantically_eq(&set, &vars));
+        assert!(back.semantically_eq(&set, &vars), "case {case}");
     }
+}
 
-    /// Graph set algebra matches bit-level set algebra.
-    #[test]
-    fn solution_graph_algebra(
-        a in arb_cube_set(5, 8),
-        b in arb_cube_set(5, 8),
-    ) {
+/// Graph set algebra matches bit-level set algebra.
+#[test]
+fn solution_graph_algebra() {
+    let mut rng = SplitMix64::seed_from_u64(0x5006);
+    for case in 0..CASES {
+        let a = random_cube_set(&mut rng, 5, 8);
+        let b = random_cube_set(&mut rng, 5, 8);
         let vars: Vec<Var> = Var::range(5).collect();
         let (mut g, na) = SolutionGraph::from_cube_set(&a, &vars);
         let nb = g.add_cube_set(&b, &vars);
@@ -129,27 +148,36 @@ proptest! {
         for bits in 0..32u64 {
             let ia = g.contains_bits(na, bits);
             let ib = g.contains_bits(nb, bits);
-            prop_assert_eq!(g.contains_bits(nu, bits), ia || ib);
-            prop_assert_eq!(g.contains_bits(ni, bits), ia && ib);
-            prop_assert_eq!(g.contains_bits(nd, bits), ia && !ib);
+            assert_eq!(g.contains_bits(nu, bits), ia || ib, "case {case} ∪ {bits}");
+            assert_eq!(g.contains_bits(ni, bits), ia && ib, "case {case} ∩ {bits}");
+            assert_eq!(g.contains_bits(nd, bits), ia && !ib, "case {case} ∖ {bits}");
         }
     }
+}
 
-    /// Lifting always yields a sound enlargement.
-    #[test]
-    fn lifting_is_sound(cnf in arb_cnf(7, 12)) {
+/// Lifting always yields a sound enlargement.
+#[test]
+fn lifting_is_sound() {
+    let mut rng = SplitMix64::seed_from_u64(0x5007);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 7, 12);
         let important: Vec<Var> = Var::range(4).collect();
         let projection = truth_table::project_models_set(&cnf, &important);
         for model in truth_table::enumerate_models(&cnf).into_iter().take(8) {
             let cube = presat::allsat::lift_cube(&cnf, &model, &important);
-            prop_assert!(cube.subsumes(&model.project(&important)));
-            prop_assert!(projection.covers_cube(&cube, &important));
+            assert!(cube.subsumes(&model.project(&important)), "case {case}");
+            assert!(projection.covers_cube(&cube, &important), "case {case}");
         }
     }
+}
 
-    /// BDD Boolean algebra laws hold (via canonicity).
-    #[test]
-    fn bdd_laws(cnf_a in arb_cnf(6, 8), cnf_b in arb_cnf(6, 8)) {
+/// BDD Boolean algebra laws hold (via canonicity).
+#[test]
+fn bdd_laws() {
+    let mut rng = SplitMix64::seed_from_u64(0x5008);
+    for case in 0..CASES {
+        let cnf_a = random_cnf(&mut rng, 6, 8);
+        let cnf_b = random_cnf(&mut rng, 6, 8);
         let mut m = BddManager::new(6);
         let a = m.from_cnf(&cnf_a);
         let b = m.from_cnf(&cnf_b);
@@ -159,26 +187,31 @@ proptest! {
         let na = m.not(a);
         let nb = m.not(b);
         let rhs = m.or(na, nb);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case {case}: De Morgan");
         // Absorption
         let or_ab = m.or(a, b);
-        prop_assert_eq!(m.and(a, or_ab), a);
+        assert_eq!(m.and(a, or_ab), a, "case {case}: absorption");
         // Double negation
         let nna = m.not(na);
-        prop_assert_eq!(nna, a);
+        assert_eq!(nna, a, "case {case}: double negation");
         // Quantification: ∃x.f ≥ f (implication is tautological)
         let e = m.exists(a, &[Var::new(0)]);
         let imp = m.implies(a, e);
-        prop_assert!(imp.is_true());
+        assert!(imp.is_true(), "case {case}: ∃ enlarges");
     }
+}
 
-    /// Incremental solving under assumptions equals solving the
-    /// strengthened formula.
-    #[test]
-    fn assumptions_equal_units(
-        cnf in arb_cnf(7, 14),
-        assum in prop::collection::btree_map(0..7usize, any::<bool>(), 0..3),
-    ) {
+/// Incremental solving under assumptions equals solving the strengthened
+/// formula.
+#[test]
+fn assumptions_equal_units() {
+    let mut rng = SplitMix64::seed_from_u64(0x5009);
+    for case in 0..CASES {
+        let cnf = random_cnf(&mut rng, 7, 14);
+        let mut assum = BTreeMap::new();
+        for _ in 0..rng.gen_range(0..3) {
+            assum.insert(rng.gen_range(0..7usize), rng.gen_bool(0.5));
+        }
         let assumptions: Vec<Lit> = assum
             .iter()
             .map(|(&v, &p)| Lit::with_phase(Var::new(v), p))
@@ -190,6 +223,6 @@ proptest! {
         let expected = truth_table::is_satisfiable(&strengthened);
         let mut solver = Solver::from_cnf(&cnf);
         let got = solver.solve_with_assumptions(&assumptions);
-        prop_assert_eq!(got.is_sat(), expected);
+        assert_eq!(got.is_sat(), expected, "case {case}");
     }
 }

@@ -1,0 +1,145 @@
+//! Counter coverage: the observability layer must report exact numbers on
+//! instances small enough to know the answer by hand, and the event trace
+//! must agree with the counters.
+
+use presat::allsat::{AllSatEngine, AllSatProblem, BlockingAllSat, SuccessDrivenAllSat};
+use presat::circuit::generators;
+use presat::logic::{Cnf, Lit, Var};
+use presat::obs::{json, Event, Stats, VecSink};
+use presat::preimage::{
+    backward_reach_with_sink, PreimageEngine, ReachOptions, SatPreimage, StateSet,
+};
+
+/// `v0 ↔ v1` over three variables: exactly 4 models (v2 free both ways).
+fn four_solution_cnf() -> Cnf {
+    let mut cnf = Cnf::new(3);
+    let v0 = Lit::pos(Var::new(0));
+    let v1 = Lit::pos(Var::new(1));
+    cnf.add_clause([!v0, v1]);
+    cnf.add_clause([v0, !v1]);
+    cnf
+}
+
+#[test]
+fn blocking_counters_on_known_instance() {
+    let problem = AllSatProblem::new(four_solution_cnf(), Var::range(3).collect());
+    let mut sink = VecSink::new();
+    let result = BlockingAllSat::new().enumerate_with_sink(&problem, &mut sink);
+
+    // 4 models over the full variable set → 4 minterm cubes, one blocking
+    // clause each (the final UNSAT call adds none).
+    assert_eq!(result.cubes.minterm_count(3), 4);
+    assert_eq!(result.stats.cubes_emitted, 4);
+    assert!(result.stats.blocking_clauses <= 4);
+    assert!(result.stats.solver_calls >= 4);
+
+    // The nested CDCL snapshot is populated (at least one solve ran and
+    // propagated something).
+    assert!(result.stats.sat.solves >= 1);
+    assert!(result.stats.sat.propagations > 0);
+
+    // The event trace agrees with the counters.
+    assert_eq!(
+        sink.count(|e| matches!(e, Event::Solution { .. })) as u64,
+        result.stats.cubes_emitted
+    );
+    assert_eq!(
+        sink.count(|e| matches!(e, Event::BlockingClause { .. })) as u64,
+        result.stats.blocking_clauses
+    );
+}
+
+#[test]
+fn success_driven_counters_on_known_instance() {
+    let problem = AllSatProblem::new(four_solution_cnf(), Var::range(3).collect());
+    let mut sink = VecSink::new();
+    let result = SuccessDrivenAllSat::new().enumerate_with_sink(&problem, &mut sink);
+
+    assert_eq!(result.cubes.minterm_count(3), 4);
+    // The success-driven engine never adds blocking clauses.
+    assert_eq!(result.stats.blocking_clauses, 0);
+    assert!(result.stats.graph_nodes > 0);
+    assert_eq!(
+        sink.count(|e| matches!(e, Event::Solution { .. })) as u64,
+        result.stats.cubes_emitted
+    );
+
+    // Snapshot lifts the nested layers and serializes to valid JSON with
+    // the solution count visible.
+    let stats = Stats::from_allsat("success-driven", &result.stats);
+    let text = stats.to_json();
+    json::validate(&text).unwrap();
+    assert_eq!(
+        json::extract_u64(&text, "solutions"),
+        Some(result.stats.cubes_emitted)
+    );
+    assert_eq!(json::extract_u64(&text, "blocking_clauses"), Some(0));
+}
+
+#[test]
+fn preimage_counters_carry_all_layers() {
+    // The only predecessor of 9 in a 4-bit counter is 8.
+    let c = generators::counter(4, false);
+    let target = StateSet::from_state_bits(9, 4);
+    let result = SatPreimage::success_driven().preimage(&c, &target);
+
+    assert_eq!(result.stats.iterations, 1);
+    assert!(result.stats.wall_time_ns > 0);
+    assert_eq!(result.stats.result_cubes, 1);
+    // The nested all-SAT and CDCL snapshots rode along.
+    assert!(result.stats.allsat.solver_calls > 0);
+    assert!(result.stats.allsat.sat.solves > 0);
+
+    let stats = Stats::from_preimage("sat-success-driven", &result.stats);
+    assert_eq!(stats.sat, result.stats.allsat.sat);
+    assert_eq!(stats.wall_time_ns, result.stats.wall_time_ns);
+}
+
+#[test]
+fn reach_aggregates_counters_and_emits_iteration_events() {
+    // Reaching state 0 of a 3-bit counter takes 8 iterations (7 + the
+    // empty-frontier fixed-point check).
+    let c = generators::counter(3, false);
+    let mut sink = VecSink::new();
+    let report = backward_reach_with_sink(
+        &SatPreimage::success_driven(),
+        &c,
+        &StateSet::from_state_bits(0, 3),
+        ReachOptions::default(),
+        &mut sink,
+    );
+
+    assert!(report.converged);
+    assert_eq!(report.stats.iterations, 8);
+    assert!(report.stats.wall_time_ns > 0);
+    // One ReachIteration event per fixed-point iteration, and the inner
+    // preimage calls' events are forwarded through the same sink.
+    assert_eq!(
+        sink.count(|e| matches!(e, Event::ReachIteration { .. })) as u64,
+        report.stats.iterations
+    );
+    assert!(sink.count(|e| matches!(e, Event::Solution { .. })) > 0);
+    // Work counters are sums over iterations: at least one solver call per
+    // non-empty frontier.
+    assert!(report.stats.allsat.solver_calls >= 7);
+
+    let text = Stats::from_preimage("sat-success-driven", &report.stats).to_json();
+    json::validate(&text).unwrap();
+    assert_eq!(json::extract_u64(&text, "iterations"), Some(8));
+}
+
+#[test]
+fn csv_rows_align_with_header_for_every_engine() {
+    let c = generators::counter(3, false);
+    let target = StateSet::from_state_bits(2, 3);
+    let header_width = Stats::csv_header().split(',').count();
+    for engine in [
+        Box::new(SatPreimage::blocking()) as Box<dyn PreimageEngine>,
+        Box::new(SatPreimage::min_blocking()),
+        Box::new(SatPreimage::success_driven()),
+    ] {
+        let result = engine.preimage(&c, &target);
+        let row = Stats::from_preimage(engine.name(), &result.stats).to_csv_row();
+        assert_eq!(row.split(',').count(), header_width, "{}", engine.name());
+    }
+}
