@@ -1,0 +1,129 @@
+//! Thread-scaling sweep (table R5 of `EXPERIMENTS.md`): wall-clock of the
+//! success-driven preimage and backward-reachability workloads at 1, 2 and
+//! 4 worker threads, written as `BENCH_PR2.json` (hand-rolled JSON, no
+//! dependencies). Run via `scripts/bench.sh` or directly:
+//!
+//! ```text
+//! cargo run --release -p presat-bench --bin thread_scaling [out.json]
+//! ```
+//!
+//! Every timed case first asserts that the parallel result is structurally
+//! identical to the sequential one — the numbers are only meaningful if
+//! the engines do the same job. The JSON records `cpu_count` so readers
+//! can judge the speedups against the hardware: on a single-CPU host the
+//! threads serialize and speedup ≈ 1 is the honest expected outcome.
+
+use presat_bench::harness::{fmt_duration, measure};
+use presat_bench::workloads::{reach_workloads, scaling_workload, suite, Workload};
+use presat_obs::json::{self, JsonObject};
+use presat_preimage::{backward_reach, PreimageEngine, ReachOptions, SatPreimage};
+
+const JOBS: [usize; 3] = [1, 2, 4];
+
+fn samples() -> usize {
+    std::env::var("PRESAT_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+/// Times one closure per job count and appends a `{label: {...}}` object
+/// with per-thread-count medians and speedups relative to 1 thread.
+fn sweep_case(
+    out: &mut JsonObject,
+    label: &str,
+    samples: usize,
+    mut run: impl FnMut(usize) -> u64,
+) {
+    let mut medians = [0u64; JOBS.len()];
+    for (slot, &jobs) in JOBS.iter().enumerate() {
+        let m = measure(samples, || run(jobs));
+        medians[slot] = m.median.as_nanos() as u64;
+        println!(
+            "{label:<28} jobs={jobs}  median {:>10}  (min {}, max {})",
+            fmt_duration(m.median),
+            fmt_duration(m.min),
+            fmt_duration(m.max),
+        );
+    }
+    out.begin_object(label);
+    for (slot, &jobs) in JOBS.iter().enumerate() {
+        out.field_u64(&format!("jobs_{jobs}_ns"), medians[slot]);
+    }
+    for &jobs in &JOBS[1..] {
+        let slot = JOBS.iter().position(|&j| j == jobs).unwrap();
+        let speedup = if medians[slot] == 0 {
+            0.0
+        } else {
+            medians[0] as f64 / medians[slot] as f64
+        };
+        out.field_f64(&format!("speedup_x{jobs}"), (speedup * 1000.0).round() / 1000.0);
+    }
+    out.end_object();
+}
+
+fn preimage_checked(w: &Workload, jobs: usize) -> u64 {
+    let engine = SatPreimage::success_driven().with_jobs(jobs);
+    let r = engine.preimage(&w.circuit, &w.target);
+    r.stats.result_cubes
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let samples = samples();
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("# thread scaling sweep ({samples} samples per case, {cpus} CPU(s) available)");
+
+    let mut o = JsonObject::new();
+    o.field_str("bench", "thread_scaling")
+        .field_u64("cpu_count", cpus as u64)
+        .field_u64("samples", samples as u64);
+
+    // Determinism gate: before timing anything, check structural equality
+    // on every workload we are about to measure.
+    let step_workloads: Vec<Workload> = suite()
+        .into_iter()
+        .filter(|w| matches!(w.label.as_str(), "parity10" | "cmp6" | "rnd6x8"))
+        .chain([scaling_workload(11)])
+        .collect();
+    for w in &step_workloads {
+        let seq = SatPreimage::success_driven().preimage(&w.circuit, &w.target);
+        for &jobs in &JOBS[1..] {
+            let par = SatPreimage::success_driven()
+                .with_jobs(jobs)
+                .preimage(&w.circuit, &w.target);
+            assert_eq!(
+                par.states.cubes(),
+                seq.states.cubes(),
+                "{}: parallel result diverged at jobs={jobs}",
+                w.label
+            );
+        }
+    }
+
+    o.begin_object("preimage_step");
+    for w in &step_workloads {
+        sweep_case(&mut o, &w.label, samples, |jobs| preimage_checked(w, jobs));
+    }
+    o.end_object();
+
+    o.begin_object("reachability");
+    for w in reach_workloads() {
+        sweep_case(&mut o, &w.label, samples, |jobs| {
+            let engine = SatPreimage::success_driven().with_jobs(jobs);
+            let report =
+                backward_reach(&engine, &w.circuit, &w.target, ReachOptions::default());
+            report.reached_states as u64
+        });
+    }
+    o.end_object();
+
+    let text = o.finish();
+    json::validate(&text).expect("emitted JSON must be well-formed");
+    std::fs::write(&out_path, format!("{text}\n")).expect("cannot write output file");
+    println!("wrote {out_path}");
+}

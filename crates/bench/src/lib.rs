@@ -6,5 +6,7 @@
 //! and targets from [`workloads`], so the numbers they report describe the
 //! same experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod workloads;

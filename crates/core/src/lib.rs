@@ -54,6 +54,7 @@ mod iter;
 mod lift;
 mod min_blocking;
 mod ordering;
+mod parallel;
 mod signature;
 mod solution_graph;
 mod success_driven;
@@ -64,6 +65,7 @@ pub use iter::CubeIter;
 pub use lift::lift_cube;
 pub use min_blocking::MinimizedBlockingAllSat;
 pub use ordering::{order_important, BranchOrder};
+pub use parallel::{enumerate_detailed, ParallelAllSat};
 pub use signature::{ConnectivityIndex, ResidualIndex};
 pub use solution_graph::{SolutionGraph, SolutionNodeId};
 pub use success_driven::{SignatureMode, SuccessDrivenAllSat};

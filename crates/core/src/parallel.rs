@@ -1,0 +1,474 @@
+//! Parallel cube-partitioned all-solutions enumeration.
+//!
+//! The search space over the important variables is split into `2^kp`
+//! disjoint *partition cubes* — every phase combination of the first `kp`
+//! branching levels (the guiding-path prefix). Worker threads pull cube
+//! indices from a shared atomic counter (work stealing: fast workers drain
+//! the queue), enumerate each cube's subspace with the sequential
+//! success-driven engine seeded with the cube as its branching prefix, and
+//! the results are merged into one solution graph **in cube order, not
+//! completion order**.
+//!
+//! # Determinism
+//!
+//! The merged result is bit-identical to the sequential engine's output at
+//! any thread count, which the test suite asserts structurally:
+//!
+//! * Each worker subspace result is a *reduced, hash-consed* decision DAG —
+//!   the canonical representation of that subspace's exact solution set, a
+//!   function of the problem alone, never of scheduling.
+//! * [`SolutionGraph::import`] canonicalises each subspace root into the
+//!   master graph, and the per-level [`SolutionGraph::mk`] combine rebuilds
+//!   the prefix levels; reduced DAGs of equal functions are isomorphic, so
+//!   the master graph matches the sequential graph node-for-node.
+//! * [`SolutionGraph::to_cube_set`] walks the DAG in a fixed lo-then-hi
+//!   order, so even the *order* of the emitted cubes matches.
+//!
+//! Work counters (decisions, conflicts, propagations) legitimately vary
+//! with scheduling — a cube enumerated by a warmed-up solver clone does
+//! less work — but solutions, cubes, and graph shape never do.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use presat_logic::Lit;
+use presat_obs::{Event, ObsSink, VecSink};
+use presat_sat::Solver;
+
+use crate::engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
+use crate::signature::{ConnectivityIndex, ResidualIndex};
+use crate::solution_graph::{SolutionGraph, SolutionNodeId};
+use crate::success_driven::{Search, SignatureMode, SuccessDrivenAllSat};
+
+/// Upper bound on the partition-prefix length: `2^8 = 256` cubes saturates
+/// any sane thread count while keeping per-cube solver overhead bounded.
+const MAX_PREFIX: usize = 8;
+
+/// The parallel wrapper around [`SuccessDrivenAllSat`]: partitions the
+/// branching space into disjoint prefix cubes, enumerates them on worker
+/// threads, and merges deterministically.
+///
+/// `jobs == 1` (the default) delegates to the sequential engine outright;
+/// `jobs == 0` asks the OS for the available parallelism. Construction is
+/// cheap; all state lives inside `enumerate_with_sink`.
+///
+/// # Examples
+///
+/// ```
+/// use presat_allsat::{AllSatEngine, AllSatProblem, ParallelAllSat, SuccessDrivenAllSat};
+/// use presat_logic::{Cnf, Lit, Var};
+///
+/// let vars: Vec<Var> = (0..3).map(Var::new).collect();
+/// let mut cnf = Cnf::new(3);
+/// cnf.add_clause([Lit::pos(vars[0]), Lit::pos(vars[1]), Lit::pos(vars[2])]);
+/// let problem = AllSatProblem::new(cnf, vars);
+///
+/// let seq = SuccessDrivenAllSat::new().enumerate(&problem);
+/// let par = ParallelAllSat::new(4).enumerate(&problem);
+/// // Not merely the same set: the identical cube list, in the same order.
+/// assert_eq!(par.cubes, seq.cubes);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelAllSat {
+    inner: SuccessDrivenAllSat,
+    jobs: usize,
+}
+
+impl Default for ParallelAllSat {
+    fn default() -> Self {
+        ParallelAllSat {
+            inner: SuccessDrivenAllSat::new(),
+            jobs: 1,
+        }
+    }
+}
+
+impl ParallelAllSat {
+    /// An engine running with `jobs` worker threads (`0` = auto-detect).
+    pub fn new(jobs: usize) -> Self {
+        ParallelAllSat {
+            inner: SuccessDrivenAllSat::new(),
+            jobs,
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = auto-detect).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Selects the subspace-signature mode of the underlying engine.
+    pub fn with_signature(mut self, mode: SignatureMode) -> Self {
+        self.inner = self.inner.with_signature(mode);
+        self
+    }
+
+    /// Enables or disables model guidance in the underlying engine.
+    pub fn with_model_guidance(mut self, on: bool) -> Self {
+        self.inner = self.inner.with_model_guidance(on);
+        self
+    }
+
+    /// The effective thread count (resolving `jobs == 0` to the OS value).
+    fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+
+    /// Partition-prefix length for `jobs` workers over `k` important
+    /// variables: enough levels that the cube queue (`2^kp` entries) keeps
+    /// every worker busy (~4 cubes each for stealing slack), capped at
+    /// [`MAX_PREFIX`] and at `k` itself.
+    fn prefix_len(jobs: usize, k: usize) -> usize {
+        let want = usize::BITS as usize - (4 * jobs).saturating_sub(1).leading_zeros() as usize;
+        want.clamp(1, MAX_PREFIX.min(k))
+    }
+}
+
+/// What one partition cube produced: the subspace root in its worker's
+/// graph, the per-cube work-counter delta, and the per-cube event trace
+/// (replayed into the caller's sink at merge time, in cube order).
+struct CubeOutcome {
+    index: usize,
+    worker: usize,
+    root: SolutionNodeId,
+    stats: EnumerationStats,
+    events: Vec<Event>,
+}
+
+impl AllSatEngine for ParallelAllSat {
+    fn name(&self) -> &'static str {
+        "success-driven-parallel"
+    }
+
+    fn enumerate_with_sink(
+        &self,
+        problem: &AllSatProblem,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult {
+        let jobs = self.effective_jobs();
+        let k = problem.important.len();
+        if jobs <= 1 || k == 0 {
+            return self.inner.enumerate_with_sink(problem, sink);
+        }
+
+        let kp = Self::prefix_len(jobs, k);
+        let num_cubes = 1usize << kp;
+        let workers = jobs.min(num_cubes);
+
+        // One warm template: parsing/watcher setup happens once, workers
+        // clone it at the root.
+        let template = Solver::from_cnf(&problem.cnf);
+        let next_cube = AtomicUsize::new(0);
+
+        let mut worker_results: Vec<(SolutionGraph, Vec<CubeOutcome>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker_id| {
+                        let template = &template;
+                        let next_cube = &next_cube;
+                        scope.spawn(move || {
+                            run_worker(
+                                worker_id,
+                                self.inner,
+                                problem,
+                                template,
+                                next_cube,
+                                num_cubes,
+                                kp,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("enumeration worker panicked"))
+                    .collect()
+            });
+
+        // ---- Deterministic merge: strictly in cube-index order. ----
+        let mut outcomes: Vec<CubeOutcome> = Vec::with_capacity(num_cubes);
+        for (_, outs) in &mut worker_results {
+            outcomes.append(outs);
+        }
+        outcomes.sort_unstable_by_key(|o| o.index);
+        debug_assert_eq!(outcomes.len(), num_cubes, "every cube accounted for");
+
+        let mut master = SolutionGraph::new(k);
+        let mut stats = EnumerationStats::default();
+        let mut layer: Vec<SolutionNodeId> = Vec::with_capacity(num_cubes);
+        for o in &outcomes {
+            layer.push(master.import(&worker_results[o.worker].0, o.root));
+            for e in &o.events {
+                sink.record(e);
+            }
+            sink.record(&Event::CubeDone {
+                cube_index: o.index as u32,
+                solver_calls: o.stats.solver_calls,
+            });
+            stats.absorb(&o.stats);
+        }
+        // Rebuild the prefix levels bottom-up: bit `level` of a cube index
+        // is the phase of branching level `level`, so at each level the
+        // lo/hi pair of an index differs in the current top bit.
+        for level in (0..kp).rev() {
+            let half = 1usize << level;
+            layer = (0..half)
+                .map(|i| master.mk(level, layer[i], layer[i + half]))
+                .collect();
+        }
+        let root = layer[0];
+
+        // Totals that must describe the *merged* result, not a sum of the
+        // per-cube views (subspace graphs overlap after canonicalisation).
+        stats.graph_nodes = master.reachable_count(root) as u64;
+        stats.sat_conflicts = stats.sat.conflicts;
+        stats.sat_decisions = stats.sat.decisions;
+        let cubes = master.to_cube_set(root, &problem.important);
+        stats.cubes_emitted = cubes.len() as u64;
+        for cube in &cubes {
+            sink.record(&Event::Solution {
+                width: cube.len() as u32,
+            });
+        }
+        AllSatResult {
+            cubes,
+            graph: Some((master, root)),
+            stats,
+        }
+    }
+}
+
+/// One worker: pulls cube indices from the shared counter until the queue
+/// is dry, enumerating each with persistent per-worker state (a solver
+/// clone, the signature indices, one solution graph, one signature cache)
+/// so later cubes benefit from everything earlier cubes learnt.
+fn run_worker(
+    worker_id: usize,
+    config: SuccessDrivenAllSat,
+    problem: &AllSatProblem,
+    template: &Solver,
+    next_cube: &AtomicUsize,
+    num_cubes: usize,
+    kp: usize,
+) -> (SolutionGraph, Vec<CubeOutcome>) {
+    let k = problem.important.len();
+    let mut solver = template.clone_at_root();
+    let mut conn = (config.signature == SignatureMode::Static)
+        .then(|| ConnectivityIndex::build(&problem.cnf, &problem.important));
+    let mut residual =
+        (config.signature == SignatureMode::Dynamic).then(|| ResidualIndex::build(&problem.cnf));
+    let mut graph = SolutionGraph::new(k);
+    let mut cache = HashMap::new();
+    let mut outcomes = Vec::new();
+
+    loop {
+        let index = next_cube.fetch_add(1, Ordering::Relaxed);
+        if index >= num_cubes {
+            break;
+        }
+        let (prefix_lits, prefix_vals): (Vec<Lit>, Vec<bool>) = (0..kp)
+            .map(|level| {
+                let phase = index >> level & 1 == 1;
+                (Lit::with_phase(problem.important[level], phase), phase)
+            })
+            .unzip();
+        solver.reset_stats();
+        let mut events = VecSink::new();
+        let mut search = Search {
+            problem,
+            solver,
+            conn: conn.take(),
+            residual: residual.take(),
+            graph,
+            cache,
+            stats: EnumerationStats::default(),
+            prefix_lits,
+            prefix_vals,
+            model_guidance: config.model_guidance,
+            sink: &mut events,
+        };
+        let root = search.explore(kp, None);
+        search.stats.sat = *search.solver.stats();
+        // Hand the persistent pieces back for the next cube.
+        solver = search.solver;
+        conn = search.conn;
+        residual = search.residual;
+        graph = search.graph;
+        cache = search.cache;
+        outcomes.push(CubeOutcome {
+            index,
+            worker: worker_id,
+            root,
+            stats: search.stats,
+            events: events.events,
+        });
+    }
+    (graph, outcomes)
+}
+
+/// Enumerates with the parallel engine and also returns the raw per-cube
+/// outcomes' stats (index, per-cube counters), for tests and the bench
+/// harness to check that per-worker work sums cleanly.
+pub fn enumerate_detailed(
+    engine: &ParallelAllSat,
+    problem: &AllSatProblem,
+) -> (AllSatResult, Vec<(u32, u64)>) {
+    let mut sink = VecSink::new();
+    let result = engine.enumerate_with_sink(problem, &mut sink);
+    let per_cube = sink
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::CubeDone {
+                cube_index,
+                solver_calls,
+            } => Some((*cube_index, *solver_calls)),
+            _ => None,
+        })
+        .collect();
+    (result, per_cube)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presat_logic::{truth_table, Cnf, Var};
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::with_phase(Var::new(v), pos)
+    }
+
+    fn random_cnf(seed: u64, n: usize, m: usize) -> Cnf {
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut cnf = Cnf::new(n);
+        for _ in 0..m {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                .collect();
+            cnf.add_clause(c);
+        }
+        cnf
+    }
+
+    #[test]
+    fn prefix_len_is_monotone_and_capped() {
+        assert_eq!(ParallelAllSat::prefix_len(2, 20), 3); // 8 cubes for 2 workers
+        assert_eq!(ParallelAllSat::prefix_len(4, 20), 4); // 16 cubes for 4
+        assert_eq!(ParallelAllSat::prefix_len(64, 20), MAX_PREFIX);
+        assert_eq!(ParallelAllSat::prefix_len(4, 2), 2); // capped at k
+        assert_eq!(ParallelAllSat::prefix_len(1, 20), 2);
+    }
+
+    #[test]
+    fn matches_sequential_bit_for_bit() {
+        for seed in 0..8 {
+            let n = 8;
+            let cnf = random_cnf(seed, n, 18);
+            let important: Vec<Var> = Var::range(6).collect();
+            let p = AllSatProblem::new(cnf, important);
+            let seq = SuccessDrivenAllSat::new().enumerate(&p);
+            for jobs in [2, 3, 4, 7] {
+                let par = ParallelAllSat::new(jobs).enumerate(&p);
+                assert_eq!(par.cubes, seq.cubes, "seed {seed} jobs {jobs}");
+                assert_eq!(
+                    par.stats.graph_nodes, seq.stats.graph_nodes,
+                    "seed {seed} jobs {jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_truth_table_oracle() {
+        for seed in 20..26 {
+            let n = 7;
+            let cnf = random_cnf(seed, n, 14);
+            let important: Vec<Var> = Var::range(5).collect();
+            let p = AllSatProblem::new(cnf.clone(), important.clone());
+            let expect = truth_table::project_models_set(&cnf, &important);
+            let r = ParallelAllSat::new(4).enumerate(&p);
+            assert!(
+                r.cubes.semantically_eq(&expect, &important),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsat_problem_yields_empty_set() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([lit(0, true)]);
+        cnf.add_clause([lit(0, false)]);
+        let p = AllSatProblem::new(cnf, (0..3).map(Var::new).collect());
+        let r = ParallelAllSat::new(4).enumerate(&p);
+        assert!(r.cubes.is_empty());
+        let (_, root) = r.graph.expect("graph always built");
+        assert_eq!(root, SolutionNodeId::BOTTOM);
+    }
+
+    #[test]
+    fn tautology_collapses_to_universe() {
+        // No constraints at all: every cube's subspace is TOP, and the
+        // merge must collapse the whole prefix tree back to TOP.
+        let cnf = Cnf::new(4);
+        let p = AllSatProblem::new(cnf, (0..4).map(Var::new).collect());
+        let r = ParallelAllSat::new(4).enumerate(&p);
+        assert!(r.cubes.is_universe());
+        let (_, root) = r.graph.expect("graph");
+        assert_eq!(root, SolutionNodeId::TOP);
+        assert_eq!(r.stats.graph_nodes, 1);
+    }
+
+    #[test]
+    fn jobs_one_delegates_to_sequential() {
+        let cnf = random_cnf(3, 6, 10);
+        let p = AllSatProblem::new(cnf, (0..4).map(Var::new).collect());
+        let seq = SuccessDrivenAllSat::new().enumerate(&p);
+        let par = ParallelAllSat::new(1).enumerate(&p);
+        assert_eq!(par.cubes, seq.cubes);
+        // Delegation means identical work, too.
+        assert_eq!(par.stats.solver_calls, seq.stats.solver_calls);
+    }
+
+    #[test]
+    fn ablation_configs_stay_deterministic() {
+        let cnf = random_cnf(11, 7, 15);
+        let important: Vec<Var> = Var::range(5).collect();
+        let p = AllSatProblem::new(cnf, important);
+        for mode in [
+            SignatureMode::None,
+            SignatureMode::Static,
+            SignatureMode::Dynamic,
+        ] {
+            let seq = SuccessDrivenAllSat::new()
+                .with_signature(mode)
+                .enumerate(&p);
+            let par = ParallelAllSat::new(4).with_signature(mode).enumerate(&p);
+            assert_eq!(par.cubes, seq.cubes, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn cube_done_events_cover_every_partition_cube() {
+        let cnf = random_cnf(5, 7, 12);
+        let p = AllSatProblem::new(cnf, (0..5).map(Var::new).collect());
+        let engine = ParallelAllSat::new(2);
+        let (result, per_cube) = enumerate_detailed(&engine, &p);
+        let kp = ParallelAllSat::prefix_len(2, 5);
+        assert_eq!(per_cube.len(), 1 << kp);
+        // Replayed in cube order, covering 0..2^kp exactly once.
+        let indices: Vec<u32> = per_cube.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, (0..1u32 << kp).collect::<Vec<_>>());
+        // Per-cube solver calls sum to the merged total.
+        let total: u64 = per_cube.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, result.stats.solver_calls);
+    }
+}

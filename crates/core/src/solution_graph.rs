@@ -286,6 +286,46 @@ impl SolutionGraph {
         root
     }
 
+    /// Copies the subgraph rooted at `root` in `other` into this graph,
+    /// returning the corresponding node here. Hash-consing canonicalises
+    /// the copy: shared substructure in `other` stays shared, and nodes
+    /// already present in this graph (from earlier imports) are reused
+    /// rather than duplicated. The parallel enumeration engine merges its
+    /// per-worker graphs with this, importing in partition-cube order so
+    /// the merged graph is independent of worker scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two graphs have different level counts.
+    pub fn import(&mut self, other: &SolutionGraph, root: SolutionNodeId) -> SolutionNodeId {
+        assert_eq!(
+            other.num_levels, self.num_levels,
+            "graph level count mismatch"
+        );
+        let mut memo: HashMap<SolutionNodeId, SolutionNodeId> = HashMap::new();
+        self.import_rec(other, root, &mut memo)
+    }
+
+    fn import_rec(
+        &mut self,
+        other: &SolutionGraph,
+        n: SolutionNodeId,
+        memo: &mut HashMap<SolutionNodeId, SolutionNodeId>,
+    ) -> SolutionNodeId {
+        if n.is_terminal() {
+            return n;
+        }
+        if let Some(&r) = memo.get(&n) {
+            return r;
+        }
+        let node = other.nodes[n.index()];
+        let lo = self.import_rec(other, node.lo, memo);
+        let hi = self.import_rec(other, node.hi, memo);
+        let r = self.mk(node.level as usize, lo, hi);
+        memo.insert(n, r);
+        r
+    }
+
     /// Set union of two nodes (standard recursive apply).
     pub fn union(&mut self, a: SolutionNodeId, b: SolutionNodeId) -> SolutionNodeId {
         let mut memo = HashMap::new();
@@ -671,6 +711,51 @@ mod tests {
         }
         // |A| = 8, |A∩B| + |A\B| = |A|
         assert_eq!(g.minterm_count(inter) + g.minterm_count(diff), 8);
+    }
+
+    #[test]
+    fn import_preserves_function_and_sharing() {
+        let n = 6;
+        let vars: Vec<Var> = Var::range(n).collect();
+        // Odd parity: maximal sharing, so the import memo is exercised.
+        let mut set = CubeSet::new();
+        for bits in 0..(1u64 << n) {
+            if bits.count_ones() % 2 == 1 {
+                set.insert(cube(
+                    &(0..n).map(|i| (i, bits >> i & 1 == 1)).collect::<Vec<_>>(),
+                ));
+            }
+        }
+        let (src, src_root) = SolutionGraph::from_cube_set(&set, &vars);
+        let mut dst = SolutionGraph::new(n);
+        let dst_root = dst.import(&src, src_root);
+        for bits in 0..(1u64 << n) {
+            assert_eq!(
+                dst.contains_bits(dst_root, bits),
+                src.contains_bits(src_root, bits),
+                "bits {bits:b}"
+            );
+        }
+        assert_eq!(
+            dst.reachable_count(dst_root),
+            src.reachable_count(src_root),
+            "import must preserve sharing"
+        );
+        // Importing again is a no-op thanks to hash-consing.
+        let nodes_before = dst.node_count();
+        assert_eq!(dst.import(&src, src_root), dst_root);
+        assert_eq!(dst.node_count(), nodes_before);
+    }
+
+    #[test]
+    fn import_terminals_are_identity() {
+        let src = SolutionGraph::new(2);
+        let mut dst = SolutionGraph::new(2);
+        assert_eq!(dst.import(&src, SolutionNodeId::TOP), SolutionNodeId::TOP);
+        assert_eq!(
+            dst.import(&src, SolutionNodeId::BOTTOM),
+            SolutionNodeId::BOTTOM
+        );
     }
 
     #[test]

@@ -74,8 +74,8 @@ pub enum SignatureMode {
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SuccessDrivenAllSat {
-    signature: SignatureMode,
-    model_guidance: bool,
+    pub(crate) signature: SignatureMode,
+    pub(crate) model_guidance: bool,
 }
 
 impl Default for SuccessDrivenAllSat {
@@ -120,24 +120,30 @@ impl SuccessDrivenAllSat {
 
 /// Exact cache key; never hashed lossily, so reuse cannot be unsound.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-enum SigKey {
+pub(crate) enum SigKey {
     Static(u32, Vec<bool>),
     /// Depth, unit-implied suffix values, residual suffix cone.
     Dynamic(u32, Vec<(u32, bool)>, ResidualSignature),
 }
 
-struct Search<'p> {
-    problem: &'p AllSatProblem,
-    solver: Solver,
-    conn: Option<ConnectivityIndex>,
-    residual: Option<ResidualIndex>,
-    graph: SolutionGraph,
-    cache: HashMap<SigKey, SolutionNodeId>,
-    stats: EnumerationStats,
-    prefix_lits: Vec<Lit>,
-    prefix_vals: Vec<bool>,
-    model_guidance: bool,
-    sink: &'p mut dyn ObsSink,
+/// One in-flight enumeration: the sub-solver, the signature indices, the
+/// solution graph under construction, and the branching prefix. The
+/// sequential engine runs one `Search` for the whole problem; the parallel
+/// engine (`crate::parallel`) runs one per partition cube, threading the
+/// persistent pieces (solver, indices, graph, cache) through a worker so
+/// they warm up across that worker's cubes.
+pub(crate) struct Search<'p> {
+    pub(crate) problem: &'p AllSatProblem,
+    pub(crate) solver: Solver,
+    pub(crate) conn: Option<ConnectivityIndex>,
+    pub(crate) residual: Option<ResidualIndex>,
+    pub(crate) graph: SolutionGraph,
+    pub(crate) cache: HashMap<SigKey, SolutionNodeId>,
+    pub(crate) stats: EnumerationStats,
+    pub(crate) prefix_lits: Vec<Lit>,
+    pub(crate) prefix_vals: Vec<bool>,
+    pub(crate) model_guidance: bool,
+    pub(crate) sink: &'p mut dyn ObsSink,
 }
 
 impl Search<'_> {
@@ -165,7 +171,11 @@ impl Search<'_> {
         Some(Ok(SigKey::Dynamic(depth as u32, implied, cone)))
     }
 
-    fn explore(&mut self, depth: usize, hint: Option<Assignment>) -> SolutionNodeId {
+    /// Enumerates the subspace under the current prefix (of length `depth`)
+    /// and returns its solution-graph node. The prefix may be any seeded
+    /// partial assignment of the first `depth` branching levels — the
+    /// parallel engine seeds it with a partition cube.
+    pub(crate) fn explore(&mut self, depth: usize, hint: Option<Assignment>) -> SolutionNodeId {
         // A hint is a model consistent with the current prefix; without
         // one, ask the sub-solver whether the subspace is still live.
         let model = match hint {

@@ -19,6 +19,9 @@ pub struct SatCounters {
     pub decisions: u64,
     /// Number of literals propagated.
     pub propagations: u64,
+    /// Binary-clause propagations served directly from the watcher entry
+    /// (the clause arena was never touched).
+    pub binary_skips: u64,
     /// Number of conflicts analyzed.
     pub conflicts: u64,
     /// Number of restarts performed.
@@ -37,6 +40,7 @@ impl SatCounters {
         self.solves += other.solves;
         self.decisions += other.decisions;
         self.propagations += other.propagations;
+        self.binary_skips += other.binary_skips;
         self.conflicts += other.conflicts;
         self.restarts += other.restarts;
         self.learnt_clauses += other.learnt_clauses;
@@ -49,10 +53,11 @@ impl fmt::Display for SatCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "solves={} decisions={} propagations={} conflicts={} restarts={} learnts={} deleted={}",
+            "solves={} decisions={} propagations={} binskips={} conflicts={} restarts={} learnts={} deleted={}",
             self.solves,
             self.decisions,
             self.propagations,
+            self.binary_skips,
             self.conflicts,
             self.restarts,
             self.learnt_clauses,

@@ -22,6 +22,8 @@
 //! `presat-allsat`, and `presat-preimage` re-export them under their
 //! historical names (`SolverStats`, `EnumerationStats`, `PreimageStats`).
 
+#![forbid(unsafe_code)]
+
 pub mod counters;
 pub mod csv;
 pub mod json;
@@ -95,6 +97,7 @@ impl Stats {
             .field_u64("solves", self.sat.solves)
             .field_u64("decisions", self.sat.decisions)
             .field_u64("propagations", self.sat.propagations)
+            .field_u64("binary_skips", self.sat.binary_skips)
             .field_u64("conflicts", self.sat.conflicts)
             .field_u64("restarts", self.sat.restarts)
             .field_u64("learnt_clauses", self.sat.learnt_clauses)
@@ -133,6 +136,7 @@ impl Stats {
             "sat_solves",
             "sat_decisions",
             "sat_propagations",
+            "sat_binary_skips",
             "sat_conflicts",
             "sat_restarts",
             "sat_learnt_clauses",
@@ -157,6 +161,7 @@ impl Stats {
             self.sat.solves,
             self.sat.decisions,
             self.sat.propagations,
+            self.sat.binary_skips,
             self.sat.conflicts,
             self.sat.restarts,
             self.sat.learnt_clauses,

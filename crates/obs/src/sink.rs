@@ -34,6 +34,16 @@ pub enum Event {
         /// Branching depth (index into the important-variable order).
         depth: u32,
     },
+    /// The parallel engine finished one partition cube of the search
+    /// space. Cubes are reported in deterministic branching order (the
+    /// per-cube traces are replayed at merge time), not completion order.
+    CubeDone {
+        /// Index of the partition cube over the prefix of the important
+        /// variables (bit *j* = phase of branching level *j*).
+        cube_index: u32,
+        /// CDCL sub-solver calls spent inside this cube's subspace.
+        solver_calls: u64,
+    },
     /// One backward-reachability iteration completed.
     ReachIteration {
         /// 1-based iteration number (the fixed-point depth so far).

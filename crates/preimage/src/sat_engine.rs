@@ -1,8 +1,8 @@
 //! SAT-enumerative preimage engines.
 
 use presat_allsat::{
-    AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, SignatureMode,
-    SuccessDrivenAllSat,
+    AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, ParallelAllSat,
+    SignatureMode, SuccessDrivenAllSat,
 };
 use presat_circuit::Circuit;
 use presat_logic::CubeSet;
@@ -50,6 +50,7 @@ pub enum SatEngineKind {
 pub struct SatPreimage {
     kind: SatEngineKind,
     env: Option<CubeSet>,
+    jobs: usize,
 }
 
 impl SatPreimage {
@@ -58,6 +59,7 @@ impl SatPreimage {
         SatPreimage {
             kind: SatEngineKind::Blocking,
             env: None,
+            jobs: 1,
         }
     }
 
@@ -66,6 +68,7 @@ impl SatPreimage {
         SatPreimage {
             kind: SatEngineKind::MinBlocking,
             env: None,
+            jobs: 1,
         }
     }
 
@@ -77,6 +80,7 @@ impl SatPreimage {
                 model_guidance: true,
             },
             env: None,
+            jobs: 1,
         }
     }
 
@@ -89,6 +93,7 @@ impl SatPreimage {
                 model_guidance,
             },
             env: None,
+            jobs: 1,
         }
     }
 
@@ -98,6 +103,21 @@ impl SatPreimage {
     pub fn with_env(mut self, env: CubeSet) -> Self {
         self.env = Some(env);
         self
+    }
+
+    /// Sets the worker-thread count for the enumeration (`0` = auto-detect,
+    /// `1` = sequential). Only the success-driven kind parallelises; the
+    /// blocking baselines are inherently sequential (each blocking clause
+    /// depends on the previous model) and ignore the setting. The result is
+    /// bit-identical at every thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The configured engine kind.
@@ -115,8 +135,13 @@ impl PreimageEngine for SatPreimage {
                 signature,
                 model_guidance,
             } => format!(
-                "sat-success-driven[{signature:?}{}]",
-                if model_guidance { "" } else { ",no-guidance" }
+                "sat-success-driven[{signature:?}{}{}]",
+                if model_guidance { "" } else { ",no-guidance" },
+                if self.jobs == 1 {
+                    String::new()
+                } else {
+                    format!(",jobs={}", self.jobs)
+                }
             ),
         }
     }
@@ -138,10 +163,19 @@ impl PreimageEngine for SatPreimage {
             SatEngineKind::SuccessDriven {
                 signature,
                 model_guidance,
-            } => SuccessDrivenAllSat::new()
-                .with_signature(signature)
-                .with_model_guidance(model_guidance)
-                .enumerate_with_sink(&problem, sink),
+            } => {
+                if self.jobs == 1 {
+                    SuccessDrivenAllSat::new()
+                        .with_signature(signature)
+                        .with_model_guidance(model_guidance)
+                        .enumerate_with_sink(&problem, sink)
+                } else {
+                    ParallelAllSat::new(self.jobs)
+                        .with_signature(signature)
+                        .with_model_guidance(model_guidance)
+                        .enumerate_with_sink(&problem, sink)
+                }
+            }
         };
         let states = StateSet::from_cubes(result.cubes.clone());
         let wall_time_ns = timer.elapsed_ns();
@@ -271,5 +305,39 @@ mod tests {
         let c = generators::counter(3, false);
         let pre = SatPreimage::success_driven().preimage(&c, &StateSet::empty());
         assert!(pre.states.is_empty());
+    }
+
+    #[test]
+    fn parallel_jobs_match_sequential_preimage_exactly() {
+        let circuits = [
+            generators::counter(4, false),
+            generators::parity(4),
+            generators::round_robin_arbiter(2),
+        ];
+        for c in &circuits {
+            let t = StateSet::from_partial(&[(0, true)]);
+            let seq = SatPreimage::success_driven().preimage(c, &t);
+            for jobs in [2, 4, 7] {
+                let par = SatPreimage::success_driven().with_jobs(jobs).preimage(c, &t);
+                // Same cube list, not just the same state set.
+                assert_eq!(
+                    par.states.cubes(),
+                    seq.states.cubes(),
+                    "{} at jobs={jobs}",
+                    c.name()
+                );
+                assert_eq!(par.stats.result_cubes, seq.stats.result_cubes);
+                assert_eq!(par.stats.graph_nodes, seq.stats.graph_nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_appear_in_engine_name() {
+        assert!(!SatPreimage::success_driven().name().contains("jobs"));
+        assert!(SatPreimage::success_driven()
+            .with_jobs(4)
+            .name()
+            .contains("jobs=4"));
     }
 }

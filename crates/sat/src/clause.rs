@@ -77,6 +77,16 @@ impl ClauseDb {
         let arena = &self.arena;
         self.learnts.retain(|&c| !arena[c.0 as usize].deleted);
     }
+
+    /// Multiplies every learnt clause's activity by `factor` in place —
+    /// the rescale step of activity decay, kept allocation-free (the old
+    /// call site cloned the whole learnt index per rescale).
+    pub(crate) fn rescale_learnt_activity(&mut self, factor: f64) {
+        for i in 0..self.learnts.len() {
+            let cref = self.learnts[i];
+            self.arena[cref.0 as usize].activity *= factor;
+        }
+    }
 }
 
 #[cfg(test)]

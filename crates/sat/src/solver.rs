@@ -8,10 +8,15 @@ use crate::types::{Lbool, SolveResult, SolverStats};
 
 /// A watch-list entry: the clause plus a *blocker* literal whose satisfaction
 /// lets propagation skip the clause without touching its literal array.
+///
+/// For a binary clause the blocker *is* the clause's only other literal, so
+/// propagation can resolve the clause (satisfied / unit / conflicting)
+/// entirely from the watcher — the `binary` flag marks that fast path.
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
     cref: ClauseRef,
     blocker: Lit,
+    binary: bool,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -234,18 +239,20 @@ impl Solver {
     }
 
     fn attach(&mut self, cref: ClauseRef) {
-        let (l0, l1) = {
+        let (l0, l1, binary) = {
             let c = self.db.get(cref);
             debug_assert!(c.lits.len() >= 2);
-            (c.lits[0], c.lits[1])
+            (c.lits[0], c.lits[1], c.lits.len() == 2)
         };
         self.watches[(!l0).code()].push(Watcher {
             cref,
             blocker: l1,
+            binary,
         });
         self.watches[(!l1).code()].push(Watcher {
             cref,
             blocker: l0,
+            binary,
         });
     }
 
@@ -272,6 +279,21 @@ impl Solver {
                 let w = ws[i];
                 // Fast path: blocker already satisfied.
                 if self.lit_value(w.blocker) == Lbool::True {
+                    i += 1;
+                    continue;
+                }
+                // Binary fast path: the blocker is the clause's only other
+                // literal, so the clause is decided right here without ever
+                // fetching the arena (binary clauses are never deleted —
+                // `reduce_db` skips clauses of length ≤ 2).
+                if w.binary {
+                    self.stats.binary_skips += 1;
+                    if self.lit_value(w.blocker) == Lbool::False {
+                        self.watches[p.code()] = ws;
+                        self.qhead = self.trail.len();
+                        return Some(w.cref);
+                    }
+                    self.enqueue(w.blocker, Some(w.cref));
                     i += 1;
                     continue;
                 }
@@ -305,6 +327,7 @@ impl Solver {
                         self.watches[(!lk).code()].push(Watcher {
                             cref: w.cref,
                             blocker: first,
+                            binary: false,
                         });
                         ws.swap_remove(i);
                         replaced = true;
@@ -373,10 +396,7 @@ impl Solver {
         let c = self.db.get_mut(cref);
         c.activity += inc;
         if c.activity > RESCALE_LIMIT {
-            let learnts = self.db.learnts.clone();
-            for l in learnts {
-                self.db.get_mut(l).activity *= 1.0 / RESCALE_LIMIT;
-            }
+            self.db.rescale_learnt_activity(1.0 / RESCALE_LIMIT);
             self.cla_inc *= 1.0 / RESCALE_LIMIT;
         }
     }
@@ -394,9 +414,14 @@ impl Solver {
             if self.db.get(confl).learnt {
                 self.bump_clause(confl);
             }
-            let start = usize::from(p.is_some());
-            let clause_lits: Vec<Lit> = self.db.get(confl).lits[start..].to_vec();
+            // Skip the implied literal of a reason clause by value, not by
+            // position: the binary propagation fast path never normalizes
+            // the literal order, so it may sit at either index.
+            let clause_lits: Vec<Lit> = self.db.get(confl).lits.clone();
             for q in clause_lits {
+                if Some(q) == p {
+                    continue;
+                }
                 let v = q.var();
                 if !self.seen[v.index()] && self.levels[v.index()] > 0 {
                     self.bump_var(v);
@@ -481,9 +506,11 @@ impl Solver {
         let Some(reason) = self.reasons[v] else {
             return false;
         };
-        self.db.get(reason).lits[1..].iter().all(|&q| {
+        // The reason's implied literal (same variable as `lit`) is skipped
+        // by variable, not by position — see the note in `analyze`.
+        self.db.get(reason).lits.iter().all(|&q| {
             let qv = q.var().index();
-            self.seen[qv] || self.levels[qv] == 0
+            qv == v || self.seen[qv] || self.levels[qv] == 0
         })
     }
 
@@ -508,8 +535,8 @@ impl Solver {
                     self.core.push(x);
                 }
                 Some(r) => {
-                    for &q in &self.db.get(r).lits[1..] {
-                        if self.levels[q.var().index()] > 0 {
+                    for &q in &self.db.get(r).lits {
+                        if q.var().index() != xv && self.levels[q.var().index()] > 0 {
                             self.seen[q.var().index()] = true;
                         }
                     }
@@ -522,7 +549,9 @@ impl Solver {
 
     fn reduce_db(&mut self) {
         self.db.sweep_learnt_index();
-        let mut order: Vec<ClauseRef> = self.db.learnts.clone();
+        // Sort the learnt index in place (taken out of the db so the sort
+        // comparator can read clause metadata) — no per-call allocation.
+        let mut order: Vec<ClauseRef> = std::mem::take(&mut self.db.learnts);
         // Worst first: high LBD, then low activity.
         order.sort_by(|&a, &b| {
             let (ca, cb) = (self.db.get(a), self.db.get(b));
@@ -532,7 +561,7 @@ impl Solver {
         });
         let target = order.len() / 2;
         let mut removed = 0;
-        for cref in order {
+        for &cref in &order {
             if removed >= target {
                 break;
             }
@@ -544,6 +573,7 @@ impl Solver {
             removed += 1;
             self.stats.deleted_clauses += 1;
         }
+        self.db.learnts = order;
         self.db.sweep_learnt_index();
         self.stats.learnt_clauses = self.db.live_learnts() as u64;
     }
@@ -742,6 +772,41 @@ impl Solver {
         };
         self.cancel_until(0);
         result
+    }
+
+    /// Zeroes the accumulated statistics. Parallel enumeration workers
+    /// call this on their cloned solvers so each clone reports only the
+    /// work it did itself and per-worker snapshots sum cleanly.
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::default();
+    }
+
+    /// Clones the solver for use as an independent enumeration worker.
+    ///
+    /// Hardening for partitioned (multi-threaded) search: a clone must not
+    /// inherit transient per-call state, so this asserts the solver sits at
+    /// decision level 0 (no assumption level lingers from an interrupted
+    /// call — `solve_with_assumptions` always retracts its assumptions)
+    /// and hands back a clone with a cleared failed-assumption core, no
+    /// conflict budget, and zeroed statistics. Everything that makes an
+    /// incremental solver warm — level-0 facts, problem and learnt
+    /// clauses, saved phases, activities — is retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver is mid-search (decision level above 0).
+    pub fn clone_at_root(&self) -> Solver {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clone_at_root requires the solver to be at decision level 0"
+        );
+        debug_assert_eq!(self.qhead, self.trail.len(), "propagation queue drained");
+        let mut clone = self.clone();
+        clone.core.clear();
+        clone.conflict_budget = None;
+        clone.reset_stats();
+        clone
     }
 
     /// Asserts `lit` permanently (a unit clause).
@@ -976,6 +1041,113 @@ mod tests {
         let _ = s.solve();
         let _ = s.solve();
         assert_eq!(s.stats().solves, 2);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut s = Solver::new(2);
+        s.add_clause([lit(0, true), lit(1, true)]);
+        let _ = s.solve();
+        assert!(s.stats().solves > 0);
+        s.reset_stats();
+        assert_eq!(*s.stats(), SolverStats::default());
+        // Still usable afterwards.
+        assert!(s.solve().is_sat());
+        assert_eq!(s.stats().solves, 1);
+    }
+
+    #[test]
+    fn binary_propagations_skip_the_arena() {
+        // A pure implication chain: every propagation crosses a binary
+        // clause, so the binary fast path must account for all of them.
+        let n = 64;
+        let mut s = Solver::new(n);
+        for i in 0..n - 1 {
+            s.add_clause([lit(i, false), lit(i + 1, true)]);
+        }
+        let r = s.solve_with_assumptions(&[lit(0, true)]);
+        assert!(r.is_sat());
+        assert!(
+            s.stats().binary_skips >= (n as u64) - 1,
+            "binary fast path never fired: {:?}",
+            s.stats()
+        );
+    }
+
+    #[test]
+    fn binary_conflicts_analyzed_correctly() {
+        // Force conflicts whose reason clauses come from the binary fast
+        // path (the implied literal is NOT normalised to position 0 there),
+        // and cross-check against the truth-table oracle.
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(1234);
+        for round in 0..40 {
+            let n = 6 + round % 3;
+            let m = 3 * n;
+            let mut cnf = presat_logic::Cnf::new(n);
+            for _ in 0..m {
+                // Mostly binary clauses, some ternary.
+                let width = if rng.gen_bool(0.7) { 2 } else { 3 };
+                let mut c = Vec::new();
+                for _ in 0..width {
+                    c.push(lit(rng.gen_range(0..n), rng.gen_bool(0.5)));
+                }
+                cnf.add_clause(c);
+            }
+            let expected = truth_table::is_satisfiable(&cnf);
+            let mut s = Solver::from_cnf(&cnf);
+            let got = s.solve();
+            assert_eq!(got.is_sat(), expected, "divergence on round {round}");
+            if let SolveResult::Sat(model) = got {
+                assert!(cnf.is_satisfied_by(&model), "bogus model on round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn clone_at_root_is_independent_and_clean() {
+        let mut s = Solver::new(3);
+        s.add_clause([lit(0, true), lit(1, true), lit(2, true)]);
+        s.add_clause([lit(0, false), lit(1, true)]);
+        let _ = s.solve();
+        let before = *s.stats();
+
+        let mut c = s.clone_at_root();
+        // Clone starts with fresh stats and no inherited unsat core.
+        assert_eq!(*c.stats(), SolverStats::default());
+        assert!(c.unsat_core().is_empty());
+
+        // Diverge the clone; the original must be unaffected.
+        c.add_clause([lit(2, false)]);
+        c.add_clause([lit(0, true)]);
+        assert!(c.solve().is_sat());
+        assert_eq!(*s.stats(), before);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn clone_at_root_agrees_with_original_under_assumptions() {
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(99);
+        let n = 7;
+        let mut cnf = presat_logic::Cnf::new(n);
+        for _ in 0..18 {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                c.push(lit(rng.gen_range(0..n), rng.gen_bool(0.5)));
+            }
+            cnf.add_clause(c);
+        }
+        let mut s = Solver::from_cnf(&cnf);
+        let _ = s.solve(); // warm the solver (learnt clauses, phases)
+        let mut c = s.clone_at_root();
+        for _ in 0..20 {
+            let a = [lit(rng.gen_range(0..n), rng.gen_bool(0.5))];
+            assert_eq!(
+                s.solve_with_assumptions(&a).is_sat(),
+                c.solve_with_assumptions(&a).is_sat()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR2.json: the thread-scaling sweep (median-of-N via the
+# in-tree harness) over the preimage-step and reachability workloads at
+# --jobs 1/2/4. The binary asserts parallel/sequential result equality
+# before timing anything, so a successful run is also a determinism check.
+#
+#   scripts/bench.sh              # 5 samples per case (default)
+#   PRESAT_BENCH_SAMPLES=11 scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p presat-bench
+./target/release/thread_scaling BENCH_PR2.json
+
+# Show how the checked-in numbers moved (informational; timings drift with
+# hardware, the structure should not).
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  git --no-pager diff --stat -- BENCH_PR2.json || true
+fi
+echo "bench: OK"

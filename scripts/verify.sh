@@ -5,7 +5,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
-cargo test -q --workspace --offline
+
+# The suite runs twice: sequential and multi-threaded enumeration. The
+# parallel determinism tests consult PRESAT_TEST_JOBS, so the =4 pass
+# exercises real worker threads and the =1 pass the delegation path.
+PRESAT_TEST_JOBS=1 cargo test -q --workspace --offline
+PRESAT_TEST_JOBS=4 cargo test -q --workspace --offline
+
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "verify: OK"

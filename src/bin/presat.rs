@@ -19,6 +19,9 @@
 //! or a cube `latch=value,...` such as `3=1,0=0` (unlisted latches free).
 //! `--engine` selects `blocking`, `min-blocking`, `success-driven`
 //! (default), `bdd-sub`, or `bdd-mono` where applicable.
+//! `--jobs <n>` runs the success-driven enumeration on `n` worker threads
+//! (`0` = auto-detect, default 1); the output is bit-identical at every
+//! thread count.
 //! `--stats` appends one JSON object with the run's counters (SAT,
 //! all-SAT, and preimage layers) to stdout — see `presat_obs::Stats`.
 
@@ -26,7 +29,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use presat::allsat::{
-    AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, SuccessDrivenAllSat,
+    AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, ParallelAllSat,
+    SuccessDrivenAllSat,
 };
 use presat::circuit::{aiger, bench, Circuit};
 use presat::logic::{dimacs, Var};
@@ -87,6 +91,9 @@ fn print_usage() {
          \x20 depth <circuit> [--initial <spec>]\n\
          options: --engine blocking|min-blocking|success-driven|bdd-sub|bdd-mono\n\
          \x20        --max-iter <n>\n\
+         \x20        --jobs <n>  success-driven worker threads (0 = auto,\n\
+         \x20                    default 1; the result is bit-identical at\n\
+         \x20                    every thread count)\n\
          \x20        --stats   (emit a JSON counters object on stdout)\n\
          spec:    a state bit pattern (42, 0b1010, 0x2a) or a cube `j=v,...`"
     );
@@ -163,11 +170,20 @@ fn load_circuit(path: &str) -> Result<Circuit, String> {
     Ok(circuit)
 }
 
+/// Parses `--jobs <n>` (worker threads; `0` = auto, default `1`).
+fn jobs_from_flag(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--jobs") {
+        Some(v) => v.parse().map_err(|_| "bad --jobs (want a number)".into()),
+        None => Ok(1),
+    }
+}
+
 fn sat_engine_from_flag(args: &[String]) -> Result<Box<dyn PreimageEngine>, String> {
+    let jobs = jobs_from_flag(args)?;
     Ok(match flag_value(args, "--engine").unwrap_or("success-driven") {
         "blocking" => Box::new(SatPreimage::blocking()),
         "min-blocking" => Box::new(SatPreimage::min_blocking()),
-        "success-driven" => Box::new(SatPreimage::success_driven()),
+        "success-driven" => Box::new(SatPreimage::success_driven().with_jobs(jobs)),
         "bdd-sub" => Box::new(BddPreimage::substitution()),
         "bdd-mono" => Box::new(BddPreimage::monolithic()),
         other => return Err(format!("unknown engine {other:?}")),
@@ -223,11 +239,13 @@ fn cmd_allsat(args: &[String]) -> Result<ExitCode, String> {
     let important: Vec<Var> = Var::range(k).collect();
     let problem = AllSatProblem::new(cnf, important.clone());
     let engine_name = flag_value(args, "--engine").unwrap_or("success-driven");
+    let jobs = jobs_from_flag(args)?;
     let timer = Timer::start();
     let result = match engine_name {
         "blocking" => BlockingAllSat::new().enumerate(&problem),
         "min-blocking" => MinimizedBlockingAllSat::new().enumerate(&problem),
-        "success-driven" => SuccessDrivenAllSat::new().enumerate(&problem),
+        "success-driven" if jobs == 1 => SuccessDrivenAllSat::new().enumerate(&problem),
+        "success-driven" => ParallelAllSat::new(jobs).enumerate(&problem),
         other => return Err(format!("unknown engine {other:?}")),
     };
     if has_flag(args, "--stats") {
