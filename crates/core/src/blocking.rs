@@ -41,11 +41,7 @@ impl AllSatEngine for BlockingAllSat {
         "blocking"
     }
 
-    fn enumerate_with_sink(
-        &self,
-        problem: &AllSatProblem,
-        sink: &mut dyn ObsSink,
-    ) -> AllSatResult {
+    fn enumerate_with_sink(&self, problem: &AllSatProblem, sink: &mut dyn ObsSink) -> AllSatResult {
         let mut solver = Solver::from_cnf(&problem.cnf);
         let mut stats = EnumerationStats::default();
         let mut cubes = CubeSet::new();

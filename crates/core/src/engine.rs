@@ -130,11 +130,7 @@ pub trait AllSatEngine {
     /// Enumerates the projection of `problem.cnf`'s models onto
     /// `problem.important`, reporting enumeration-level events (solutions,
     /// blocking clauses, cache hits) to `sink` as they happen.
-    fn enumerate_with_sink(
-        &self,
-        problem: &AllSatProblem,
-        sink: &mut dyn ObsSink,
-    ) -> AllSatResult;
+    fn enumerate_with_sink(&self, problem: &AllSatProblem, sink: &mut dyn ObsSink) -> AllSatResult;
 
     /// [`AllSatEngine::enumerate_with_sink`] without an event trace.
     fn enumerate(&self, problem: &AllSatProblem) -> AllSatResult {

@@ -1,0 +1,454 @@
+//! A persistent all-SAT engine for *iterated* enumeration.
+//!
+//! The preimage fixed point asks the same structural question — "project
+//! this transition formula onto the state variables" — over and over, with
+//! only the target side changing per iteration. [`IncrementalAllSat`] keeps
+//! **one** CDCL solver, **one** solution graph, and **one** signature cache
+//! alive across `enumerate` calls: the caller grows the formula
+//! monotonically (activation-literal-tagged target clauses, reached-state
+//! blocking clauses), enumerates under per-call assumptions, and retires
+//! activation groups when an iteration's target is done. Learnt clauses,
+//! saved phases, and VSIDS activities all survive between calls, which is
+//! the whole point.
+//!
+//! # Soundness across calls
+//!
+//! * **Learnt clauses** are consequences of the problem clauses present
+//!   when they were derived; the formula only grows, so they stay sound.
+//!   Clauses learnt while an activation group was assumed contain the
+//!   negated activation literal (assumption negations are pushed into
+//!   learnt clauses by conflict analysis), so they become inert — never
+//!   wrong — once the group is retired.
+//! * **The dynamic signature cache** persists: a [`SigKey::Dynamic`] key
+//!   captures the implied suffix values and the exact surviving-literal
+//!   contents of the residual suffix cone, which *determine* the suffix
+//!   solution set given that the global formula is satisfiable under the
+//!   prefix — and the engine certifies satisfiability with a fresh model
+//!   before ever consulting the cache. New clauses added between calls
+//!   (blocking clauses over state variables, activation-tagged target
+//!   clauses under a *currently assumed* activation literal) appear in the
+//!   cone while unsatisfied, so they change the key exactly when they can
+//!   change the suffix set.
+//! * **Static connectivity keys** are *not* stable under formula growth (a
+//!   new clause can connect previously independent variables), so in
+//!   [`SignatureMode::Static`] the cache is cleared and the connectivity
+//!   index rebuilt on every call. Static mode exists for ablation only.
+//!
+//! The persistent [`SolutionGraph`] is shared, hash-consed storage: nodes
+//! cached in iteration *k* are reused verbatim in iteration *k+1* when
+//! their signature recurs.
+
+use std::collections::HashMap;
+
+use presat_logic::{Cnf, Lit, Var};
+use presat_obs::{Event, NullSink, ObsSink};
+use presat_sat::Solver;
+
+use crate::engine::{AllSatResult, EnumerationStats};
+use crate::parallel::enumerate_partitioned;
+use crate::signature::{ConnectivityIndex, ResidualIndex};
+use crate::solution_graph::{SolutionGraph, SolutionNodeId};
+use crate::success_driven::{Search, SigKey, SignatureMode, SuccessDrivenAllSat};
+
+/// An all-SAT engine whose solver, solution graph, and signature cache
+/// persist across `enumerate` calls over one monotonically growing formula.
+///
+/// Protocol per iteration:
+///
+/// 1. [`add_var`](IncrementalAllSat::add_var) a fresh activation literal
+///    `a`, then [`add_clause`](IncrementalAllSat::add_clause) the
+///    iteration's clauses with `¬a` disjoined in.
+/// 2. [`enumerate_with_sink`](IncrementalAllSat::enumerate_with_sink) with
+///    `a` among the assumptions.
+/// 3. [`retire`](IncrementalAllSat::retire)`(a)` — the group's clauses are
+///    permanently satisfied and garbage-collected from the solver.
+/// 4. Optionally `add_clause` permanent clauses (e.g. blocking enumerated
+///    states) before the next round.
+///
+/// # Examples
+///
+/// ```
+/// use presat_allsat::IncrementalAllSat;
+/// use presat_logic::{Cnf, Lit, Var};
+///
+/// let vars: Vec<Var> = (0..2).map(Var::new).collect();
+/// let mut cnf = Cnf::new(2);
+/// cnf.add_clause([Lit::pos(vars[0]), Lit::pos(vars[1])]);
+/// let mut inc = IncrementalAllSat::new(cnf, vars, Default::default(), 1);
+///
+/// // Iteration 1: additionally require x1, via an activation group.
+/// let a = Lit::pos(inc.add_var());
+/// inc.add_clause(vec![!a, Lit::pos(Var::new(1))]);
+/// let r1 = inc.enumerate(&[a]);
+/// assert_eq!(r1.cubes.minterm_count(2), 2); // {x1} = {01, 11}
+/// inc.retire(a);
+///
+/// // Iteration 2: the group is gone; only x0 ∨ x1 remains.
+/// let r2 = inc.enumerate(&[]);
+/// assert_eq!(r2.cubes.minterm_count(2), 3);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalAllSat {
+    config: SuccessDrivenAllSat,
+    jobs: usize,
+    /// Mirror of the solver's problem clauses (not its learnt clauses):
+    /// the signature machinery reads clause *contents*, which the solver
+    /// does not expose. Retired groups stay in the mirror — their
+    /// activation unit makes propagation mark them satisfied, so they
+    /// vanish from every residual cone.
+    cnf: Cnf,
+    important: Vec<Var>,
+    solver: Solver,
+    graph: SolutionGraph,
+    cache: HashMap<SigKey, SolutionNodeId>,
+    residual: Option<ResidualIndex>,
+    /// Clause count already covered by `residual`.
+    indexed_clauses: usize,
+}
+
+impl IncrementalAllSat {
+    /// Creates a session over `cnf`, projecting onto `important`, with the
+    /// given engine configuration and worker count (`0` = auto-detect,
+    /// `1` = sequential; parallel calls partition each enumeration the same
+    /// way [`crate::ParallelAllSat`] does, cloning the persistent solver at
+    /// the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `important` contains duplicates or variables outside the
+    /// formula's variable space (same contract as
+    /// [`crate::AllSatProblem::new`]).
+    pub fn new(cnf: Cnf, important: Vec<Var>, config: SuccessDrivenAllSat, jobs: usize) -> Self {
+        let mut seen = vec![false; cnf.num_vars()];
+        for &v in &important {
+            assert!(
+                v.index() < cnf.num_vars(),
+                "important variable {v} outside formula space"
+            );
+            assert!(!seen[v.index()], "duplicate important variable {v}");
+            seen[v.index()] = true;
+        }
+        let solver = Solver::from_cnf(&cnf);
+        let residual =
+            (config.signature == SignatureMode::Dynamic).then(|| ResidualIndex::build(&cnf));
+        let indexed_clauses = cnf.num_clauses();
+        let k = important.len();
+        IncrementalAllSat {
+            config,
+            jobs,
+            cnf,
+            important,
+            solver,
+            graph: SolutionGraph::new(k),
+            cache: HashMap::new(),
+            residual,
+            indexed_clauses,
+        }
+    }
+
+    /// Adds a fresh variable to the formula and the solver (typically an
+    /// activation literal).
+    pub fn add_var(&mut self) -> Var {
+        let v = self.cnf.fresh_var();
+        let sv = self.solver.add_var();
+        debug_assert_eq!(v, sv, "mirror and solver variable spaces diverged");
+        v
+    }
+
+    /// Adds a clause to the formula and the solver. Must be called between
+    /// enumerations (the solver is always at decision level 0 there).
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        self.cnf.add_clause(lits.iter().copied());
+        self.solver.add_clause(lits);
+    }
+
+    /// Permanently retires the activation group of `act`: asserts `¬act`
+    /// and garbage-collects the group's clauses from the solver arena. The
+    /// mirror keeps them — propagation sees them satisfied by `¬act`, so
+    /// they drop out of every residual signature. Returns the number of
+    /// clauses collected.
+    pub fn retire(&mut self, act: Lit) -> u64 {
+        self.solver.retire_group(act)
+    }
+
+    /// Number of live learnt clauses currently carried by the persistent
+    /// solver (the `learnts_carried` observability counter).
+    pub fn live_learnts(&self) -> usize {
+        self.solver.live_learnt_count()
+    }
+
+    /// The persistent solution graph (shared storage across calls).
+    pub fn graph(&self) -> &SolutionGraph {
+        &self.graph
+    }
+
+    /// Enumerates the projection of the current formula's models, under
+    /// `assumptions` (activation literals), onto the important variables.
+    ///
+    /// Results are bit-identical to a cold
+    /// [`crate::SuccessDrivenAllSat`] / [`crate::ParallelAllSat`] run on
+    /// the same formula + assumptions: the persistent state is pure
+    /// acceleration (learnt clauses, cached canonical subgraphs), never
+    /// semantics. Work counters in the returned stats cover this call only.
+    pub fn enumerate_with_sink(
+        &mut self,
+        assumptions: &[Lit],
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult {
+        let k = self.important.len();
+        let jobs = self.effective_jobs();
+        let mut stats;
+        let root;
+        if jobs > 1 && k > 0 {
+            // Partitioned: workers clone the persistent solver at the root
+            // (inheriting its learnt clauses and phases) and merge into the
+            // persistent graph. Per-worker learnts die with the workers —
+            // learnt *carrying* is the sequential path's job.
+            let (r, s) = enumerate_partitioned(
+                self.config,
+                jobs,
+                &self.cnf,
+                &self.important,
+                &self.solver,
+                assumptions,
+                &mut self.graph,
+                sink,
+            );
+            root = r;
+            stats = s;
+        } else {
+            match self.config.signature {
+                // Static connectivity is not stable under formula growth:
+                // rebuild the index and drop the cache every call.
+                SignatureMode::Static => self.cache.clear(),
+                SignatureMode::Dynamic => {
+                    let residual = self.residual.as_mut().expect("built in new()");
+                    residual.extend(&self.cnf, self.indexed_clauses);
+                    self.indexed_clauses = self.cnf.num_clauses();
+                }
+                SignatureMode::None => {}
+            }
+            let conn = (self.config.signature == SignatureMode::Static)
+                .then(|| ConnectivityIndex::build(&self.cnf, &self.important));
+            self.solver.reset_stats();
+            let mut search = Search {
+                cnf: &self.cnf,
+                important: &self.important,
+                solver: std::mem::replace(&mut self.solver, Solver::new(0)),
+                conn,
+                residual: self.residual.take(),
+                graph: std::mem::replace(&mut self.graph, SolutionGraph::new(k)),
+                cache: std::mem::take(&mut self.cache),
+                stats: EnumerationStats::default(),
+                prefix_lits: assumptions.to_vec(),
+                prefix_vals: Vec::with_capacity(k),
+                model_guidance: self.config.model_guidance,
+                sink,
+            };
+            root = search.explore(0, None);
+            search.stats.sat = *search.solver.stats();
+            search.stats.sat_conflicts = search.stats.sat.conflicts;
+            search.stats.sat_decisions = search.stats.sat.decisions;
+            let Search {
+                solver,
+                residual,
+                graph,
+                cache,
+                stats: s,
+                ..
+            } = search;
+            self.solver = solver;
+            self.residual = residual;
+            self.graph = graph;
+            self.cache = cache;
+            stats = s;
+        }
+        stats.graph_nodes = self.graph.reachable_count(root) as u64;
+        let cubes = self.graph.to_cube_set(root, &self.important);
+        stats.cubes_emitted = cubes.len() as u64;
+        for cube in &cubes {
+            sink.record(&Event::Solution {
+                width: cube.len() as u32,
+            });
+        }
+        AllSatResult {
+            cubes,
+            graph: None,
+            stats,
+        }
+    }
+
+    /// [`enumerate_with_sink`](IncrementalAllSat::enumerate_with_sink)
+    /// without an event trace.
+    pub fn enumerate(&mut self, assumptions: &[Lit]) -> AllSatResult {
+        self.enumerate_with_sink(assumptions, &mut NullSink)
+    }
+
+    fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AllSatEngine, AllSatProblem};
+    use crate::parallel::ParallelAllSat;
+    use presat_logic::rng::SplitMix64;
+
+    fn lit(v: usize, pos: bool) -> Lit {
+        Lit::with_phase(Var::new(v), pos)
+    }
+
+    fn random_cnf(seed: u64, n: usize, m: usize) -> Cnf {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut cnf = Cnf::new(n);
+        for _ in 0..m {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                .collect();
+            cnf.add_clause(c);
+        }
+        cnf
+    }
+
+    /// Oracle: the session's answer after any history must equal a cold
+    /// engine run on (mirror CNF + pending activation units + assumptions).
+    fn cold_answer(
+        cnf: &Cnf,
+        important: &[Var],
+        retired: &[Lit],
+        assumptions: &[Lit],
+        config: SuccessDrivenAllSat,
+    ) -> AllSatResult {
+        let mut full = cnf.clone();
+        for &dead in retired {
+            full.add_unit(!dead);
+        }
+        for &a in assumptions {
+            full.add_unit(a);
+        }
+        let p = AllSatProblem::new(full, important.to_vec());
+        config.enumerate(&p)
+    }
+
+    #[test]
+    fn iterated_groups_match_cold_runs_all_modes_and_jobs() {
+        for mode in [
+            SignatureMode::None,
+            SignatureMode::Static,
+            SignatureMode::Dynamic,
+        ] {
+            for jobs in [1usize, 4] {
+                let config = SuccessDrivenAllSat::new().with_signature(mode);
+                for seed in 0..4u64 {
+                    let n = 7;
+                    let base = random_cnf(seed, n, 12);
+                    let important: Vec<Var> = Var::range(5).collect();
+                    let mut inc =
+                        IncrementalAllSat::new(base.clone(), important.clone(), config, jobs);
+                    let mut retired: Vec<Lit> = Vec::new();
+                    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xfeed);
+                    for round in 0..5 {
+                        let act = Lit::pos(inc.add_var());
+                        // 1–2 random clauses tagged with the group literal.
+                        for _ in 0..rng.gen_range(1..3) {
+                            let mut c: Vec<Lit> = (0..2)
+                                .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                                .collect();
+                            c.push(!act);
+                            inc.add_clause(c.clone());
+                        }
+                        let got = inc.enumerate(&[act]);
+                        let want = cold_answer(
+                            // The mirror *is* the reference formula.
+                            &inc.cnf,
+                            &important,
+                            &retired,
+                            &[act],
+                            config,
+                        );
+                        assert_eq!(
+                            got.cubes, want.cubes,
+                            "mode {mode:?} jobs {jobs} seed {seed} round {round}"
+                        );
+                        inc.retire(act);
+                        retired.push(act);
+                        // A permanent blocking clause between iterations.
+                        if round % 2 == 0 {
+                            let c: Vec<Lit> = (0..3)
+                                .map(|_| lit(rng.gen_range(0..5), rng.gen_bool(0.5)))
+                                .collect();
+                            inc.add_clause(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_group_yields_bottom_and_session_survives() {
+        let cnf = random_cnf(9, 6, 10);
+        let important: Vec<Var> = Var::range(4).collect();
+        let mut inc = IncrementalAllSat::new(cnf.clone(), important.clone(), Default::default(), 1);
+        let act = Lit::pos(inc.add_var());
+        // The group forces a contradiction: enumeration under it is empty.
+        inc.add_clause(vec![!act, lit(0, true)]);
+        inc.add_clause(vec![!act, lit(0, false)]);
+        let r = inc.enumerate(&[act]);
+        assert!(r.cubes.is_empty());
+        inc.retire(act);
+        // The session is still usable and matches a cold run.
+        let got = inc.enumerate(&[]);
+        let want = cold_answer(&inc.cnf, &important, &[act], &[], Default::default());
+        assert_eq!(got.cubes, want.cubes);
+    }
+
+    #[test]
+    fn stats_cover_each_call_separately() {
+        let cnf = random_cnf(2, 7, 12);
+        let important: Vec<Var> = Var::range(5).collect();
+        let mut inc = IncrementalAllSat::new(cnf, important, Default::default(), 1);
+        let r1 = inc.enumerate(&[]);
+        let r2 = inc.enumerate(&[]);
+        assert!(r1.stats.solver_calls > 0);
+        // Second call re-proves the same space; counters must not be
+        // cumulative across calls.
+        assert!(r2.stats.solver_calls <= r1.stats.solver_calls);
+    }
+
+    #[test]
+    fn parallel_session_matches_parallel_engine() {
+        for seed in 0..3u64 {
+            let cnf = random_cnf(seed.wrapping_mul(77).wrapping_add(5), 8, 16);
+            let important: Vec<Var> = Var::range(6).collect();
+            let cold = ParallelAllSat::new(4)
+                .enumerate(&AllSatProblem::new(cnf.clone(), important.clone()));
+            let mut inc = IncrementalAllSat::new(cnf, important, Default::default(), 4);
+            let got = inc.enumerate(&[]);
+            assert_eq!(got.cubes, cold.cubes, "seed {seed}");
+            assert_eq!(got.stats.graph_nodes, cold.stats.graph_nodes);
+        }
+    }
+
+    #[test]
+    fn learnts_survive_across_calls() {
+        // A dense random instance, to exercise the counter plumbing.
+        let cnf = random_cnf(123, 9, 30);
+        let important: Vec<Var> = Var::range(6).collect();
+        let mut inc = IncrementalAllSat::new(cnf, important, Default::default(), 1);
+        let _ = inc.enumerate(&[]);
+        let carried = inc.live_learnts();
+        let _ = inc.enumerate(&[]);
+        // The count never resets to a fresh solver's zero unless the solver
+        // actually had nothing to learn.
+        assert!(inc.live_learnts() >= carried);
+    }
+}

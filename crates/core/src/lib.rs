@@ -50,6 +50,7 @@
 
 mod blocking;
 mod engine;
+mod incremental;
 mod iter;
 mod lift;
 mod min_blocking;
@@ -61,6 +62,7 @@ mod success_driven;
 
 pub use blocking::BlockingAllSat;
 pub use engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
+pub use incremental::IncrementalAllSat;
 pub use iter::CubeIter;
 pub use lift::lift_cube;
 pub use min_blocking::MinimizedBlockingAllSat;

@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use presat_logic::Lit;
+use presat_logic::{Cnf, Lit, Var};
 use presat_obs::{Event, ObsSink, VecSink};
 use presat_sat::Solver;
 
@@ -120,15 +120,15 @@ impl ParallelAllSat {
             self.jobs
         }
     }
+}
 
-    /// Partition-prefix length for `jobs` workers over `k` important
-    /// variables: enough levels that the cube queue (`2^kp` entries) keeps
-    /// every worker busy (~4 cubes each for stealing slack), capped at
-    /// [`MAX_PREFIX`] and at `k` itself.
-    fn prefix_len(jobs: usize, k: usize) -> usize {
-        let want = usize::BITS as usize - (4 * jobs).saturating_sub(1).leading_zeros() as usize;
-        want.clamp(1, MAX_PREFIX.min(k))
-    }
+/// Partition-prefix length for `jobs` workers over `k` important
+/// variables: enough levels that the cube queue (`2^kp` entries) keeps
+/// every worker busy (~4 cubes each for stealing slack), capped at
+/// [`MAX_PREFIX`] and at `k` itself.
+pub(crate) fn prefix_len(jobs: usize, k: usize) -> usize {
+    let want = usize::BITS as usize - (4 * jobs).saturating_sub(1).leading_zeros() as usize;
+    want.clamp(1, MAX_PREFIX.min(k))
 }
 
 /// What one partition cube produced: the subspace root in its worker's
@@ -147,89 +147,31 @@ impl AllSatEngine for ParallelAllSat {
         "success-driven-parallel"
     }
 
-    fn enumerate_with_sink(
-        &self,
-        problem: &AllSatProblem,
-        sink: &mut dyn ObsSink,
-    ) -> AllSatResult {
+    fn enumerate_with_sink(&self, problem: &AllSatProblem, sink: &mut dyn ObsSink) -> AllSatResult {
         let jobs = self.effective_jobs();
         let k = problem.important.len();
         if jobs <= 1 || k == 0 {
             return self.inner.enumerate_with_sink(problem, sink);
         }
 
-        let kp = Self::prefix_len(jobs, k);
-        let num_cubes = 1usize << kp;
-        let workers = jobs.min(num_cubes);
-
         // One warm template: parsing/watcher setup happens once, workers
         // clone it at the root.
         let template = Solver::from_cnf(&problem.cnf);
-        let next_cube = AtomicUsize::new(0);
-
-        let mut worker_results: Vec<(SolutionGraph, Vec<CubeOutcome>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|worker_id| {
-                        let template = &template;
-                        let next_cube = &next_cube;
-                        scope.spawn(move || {
-                            run_worker(
-                                worker_id,
-                                self.inner,
-                                problem,
-                                template,
-                                next_cube,
-                                num_cubes,
-                                kp,
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("enumeration worker panicked"))
-                    .collect()
-            });
-
-        // ---- Deterministic merge: strictly in cube-index order. ----
-        let mut outcomes: Vec<CubeOutcome> = Vec::with_capacity(num_cubes);
-        for (_, outs) in &mut worker_results {
-            outcomes.append(outs);
-        }
-        outcomes.sort_unstable_by_key(|o| o.index);
-        debug_assert_eq!(outcomes.len(), num_cubes, "every cube accounted for");
-
         let mut master = SolutionGraph::new(k);
-        let mut stats = EnumerationStats::default();
-        let mut layer: Vec<SolutionNodeId> = Vec::with_capacity(num_cubes);
-        for o in &outcomes {
-            layer.push(master.import(&worker_results[o.worker].0, o.root));
-            for e in &o.events {
-                sink.record(e);
-            }
-            sink.record(&Event::CubeDone {
-                cube_index: o.index as u32,
-                solver_calls: o.stats.solver_calls,
-            });
-            stats.absorb(&o.stats);
-        }
-        // Rebuild the prefix levels bottom-up: bit `level` of a cube index
-        // is the phase of branching level `level`, so at each level the
-        // lo/hi pair of an index differs in the current top bit.
-        for level in (0..kp).rev() {
-            let half = 1usize << level;
-            layer = (0..half)
-                .map(|i| master.mk(level, layer[i], layer[i + half]))
-                .collect();
-        }
-        let root = layer[0];
+        let (root, mut stats) = enumerate_partitioned(
+            self.inner,
+            jobs,
+            &problem.cnf,
+            &problem.important,
+            &template,
+            &[],
+            &mut master,
+            sink,
+        );
 
         // Totals that must describe the *merged* result, not a sum of the
         // per-cube views (subspace graphs overlap after canonicalisation).
         stats.graph_nodes = master.reachable_count(root) as u64;
-        stats.sat_conflicts = stats.sat.conflicts;
-        stats.sat_decisions = stats.sat.decisions;
         let cubes = master.to_cube_set(root, &problem.important);
         stats.cubes_emitted = cubes.len() as u64;
         for cube in &cubes {
@@ -245,25 +187,114 @@ impl AllSatEngine for ParallelAllSat {
     }
 }
 
+/// Cube-partitioned enumeration into a caller-owned master graph.
+///
+/// Splits the branching space over `important` into `2^kp` prefix cubes,
+/// enumerates them on worker threads (each worker clones `template` at the
+/// root and assumes `base` ahead of its cube prefix), and merges the
+/// subspace roots into `master` strictly in cube-index order, returning the
+/// merged root and the absorbed work counters (`graph_nodes` and
+/// `cubes_emitted` are left for the caller, which owns the master graph).
+///
+/// This is shared between [`ParallelAllSat`] (fresh template and master per
+/// call, empty `base`) and the incremental session
+/// (`crate::IncrementalAllSat`: persistent template solver and master
+/// graph, the iteration's activation literal as `base`). Requires
+/// `jobs >= 2` and a non-empty `important` set.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn enumerate_partitioned(
+    config: SuccessDrivenAllSat,
+    jobs: usize,
+    cnf: &Cnf,
+    important: &[Var],
+    template: &Solver,
+    base: &[Lit],
+    master: &mut SolutionGraph,
+    sink: &mut dyn ObsSink,
+) -> (SolutionNodeId, EnumerationStats) {
+    let k = important.len();
+    debug_assert!(jobs >= 2 && k > 0);
+    let kp = prefix_len(jobs, k);
+    let num_cubes = 1usize << kp;
+    let workers = jobs.min(num_cubes);
+    let next_cube = AtomicUsize::new(0);
+
+    let mut worker_results: Vec<(SolutionGraph, Vec<CubeOutcome>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker_id| {
+                let template = &template;
+                let next_cube = &next_cube;
+                scope.spawn(move || {
+                    run_worker(
+                        worker_id, config, cnf, important, template, base, next_cube, num_cubes, kp,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enumeration worker panicked"))
+            .collect()
+    });
+
+    // ---- Deterministic merge: strictly in cube-index order. ----
+    let mut outcomes: Vec<CubeOutcome> = Vec::with_capacity(num_cubes);
+    for (_, outs) in &mut worker_results {
+        outcomes.append(outs);
+    }
+    outcomes.sort_unstable_by_key(|o| o.index);
+    debug_assert_eq!(outcomes.len(), num_cubes, "every cube accounted for");
+
+    let mut stats = EnumerationStats::default();
+    let mut layer: Vec<SolutionNodeId> = Vec::with_capacity(num_cubes);
+    for o in &outcomes {
+        layer.push(master.import(&worker_results[o.worker].0, o.root));
+        for e in &o.events {
+            sink.record(e);
+        }
+        sink.record(&Event::CubeDone {
+            cube_index: o.index as u32,
+            solver_calls: o.stats.solver_calls,
+        });
+        stats.absorb(&o.stats);
+    }
+    // Rebuild the prefix levels bottom-up: bit `level` of a cube index
+    // is the phase of branching level `level`, so at each level the
+    // lo/hi pair of an index differs in the current top bit.
+    for level in (0..kp).rev() {
+        let half = 1usize << level;
+        layer = (0..half)
+            .map(|i| master.mk(level, layer[i], layer[i + half]))
+            .collect();
+    }
+    let root = layer[0];
+    stats.sat_conflicts = stats.sat.conflicts;
+    stats.sat_decisions = stats.sat.decisions;
+    (root, stats)
+}
+
 /// One worker: pulls cube indices from the shared counter until the queue
 /// is dry, enumerating each with persistent per-worker state (a solver
 /// clone, the signature indices, one solution graph, one signature cache)
 /// so later cubes benefit from everything earlier cubes learnt.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     worker_id: usize,
     config: SuccessDrivenAllSat,
-    problem: &AllSatProblem,
+    cnf: &Cnf,
+    important: &[Var],
     template: &Solver,
+    base: &[Lit],
     next_cube: &AtomicUsize,
     num_cubes: usize,
     kp: usize,
 ) -> (SolutionGraph, Vec<CubeOutcome>) {
-    let k = problem.important.len();
+    let k = important.len();
     let mut solver = template.clone_at_root();
     let mut conn = (config.signature == SignatureMode::Static)
-        .then(|| ConnectivityIndex::build(&problem.cnf, &problem.important));
+        .then(|| ConnectivityIndex::build(cnf, important));
     let mut residual =
-        (config.signature == SignatureMode::Dynamic).then(|| ResidualIndex::build(&problem.cnf));
+        (config.signature == SignatureMode::Dynamic).then(|| ResidualIndex::build(cnf));
     let mut graph = SolutionGraph::new(k);
     let mut cache = HashMap::new();
     let mut outcomes = Vec::new();
@@ -273,16 +304,20 @@ fn run_worker(
         if index >= num_cubes {
             break;
         }
-        let (prefix_lits, prefix_vals): (Vec<Lit>, Vec<bool>) = (0..kp)
-            .map(|level| {
-                let phase = index >> level & 1 == 1;
-                (Lit::with_phase(problem.important[level], phase), phase)
-            })
-            .unzip();
+        // `base` (e.g. a session activation literal) rides ahead of the
+        // cube prefix in `prefix_lits`; `prefix_vals` stays branching-only.
+        let mut prefix_lits: Vec<Lit> = base.to_vec();
+        let mut prefix_vals: Vec<bool> = Vec::with_capacity(kp);
+        for (level, &var) in important.iter().take(kp).enumerate() {
+            let phase = index >> level & 1 == 1;
+            prefix_lits.push(Lit::with_phase(var, phase));
+            prefix_vals.push(phase);
+        }
         solver.reset_stats();
         let mut events = VecSink::new();
         let mut search = Search {
-            problem,
+            cnf,
+            important,
             solver,
             conn: conn.take(),
             residual: residual.take(),
@@ -360,11 +395,11 @@ mod tests {
 
     #[test]
     fn prefix_len_is_monotone_and_capped() {
-        assert_eq!(ParallelAllSat::prefix_len(2, 20), 3); // 8 cubes for 2 workers
-        assert_eq!(ParallelAllSat::prefix_len(4, 20), 4); // 16 cubes for 4
-        assert_eq!(ParallelAllSat::prefix_len(64, 20), MAX_PREFIX);
-        assert_eq!(ParallelAllSat::prefix_len(4, 2), 2); // capped at k
-        assert_eq!(ParallelAllSat::prefix_len(1, 20), 2);
+        assert_eq!(prefix_len(2, 20), 3); // 8 cubes for 2 workers
+        assert_eq!(prefix_len(4, 20), 4); // 16 cubes for 4
+        assert_eq!(prefix_len(64, 20), MAX_PREFIX);
+        assert_eq!(prefix_len(4, 2), 2); // capped at k
+        assert_eq!(prefix_len(1, 20), 2);
     }
 
     #[test]
@@ -395,10 +430,7 @@ mod tests {
             let p = AllSatProblem::new(cnf.clone(), important.clone());
             let expect = truth_table::project_models_set(&cnf, &important);
             let r = ParallelAllSat::new(4).enumerate(&p);
-            assert!(
-                r.cubes.semantically_eq(&expect, &important),
-                "seed {seed}"
-            );
+            assert!(r.cubes.semantically_eq(&expect, &important), "seed {seed}");
         }
     }
 
@@ -462,7 +494,7 @@ mod tests {
         let p = AllSatProblem::new(cnf, (0..5).map(Var::new).collect());
         let engine = ParallelAllSat::new(2);
         let (result, per_cube) = enumerate_detailed(&engine, &p);
-        let kp = ParallelAllSat::prefix_len(2, 5);
+        let kp = prefix_len(2, 5);
         assert_eq!(per_cube.len(), 1 << kp);
         // Replayed in cube order, covering 0..2^kp exactly once.
         let indices: Vec<u32> = per_cube.iter().map(|&(i, _)| i).collect();

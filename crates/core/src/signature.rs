@@ -61,10 +61,7 @@ impl ConnectivityIndex {
         for d in 0..=k {
             let mut var_seen = vec![false; num_vars];
             let mut clause_seen = vec![false; cnf.num_clauses()];
-            let mut frontier: Vec<usize> = important[d..]
-                .iter()
-                .map(|v| v.index())
-                .collect();
+            let mut frontier: Vec<usize> = important[d..].iter().map(|v| v.index()).collect();
             for &v in &frontier {
                 var_seen[v] = true;
             }
@@ -159,6 +156,19 @@ impl ResidualIndex {
             }
         }
         ResidualIndex { clauses_of_var }
+    }
+
+    /// Extends the incidence index to cover clauses (and variables) added
+    /// to `cnf` since the index was built or last extended;
+    /// `first_new_clause` is the clause count at that point. Used by the
+    /// incremental session, which grows one CNF across enumerate calls.
+    pub fn extend(&mut self, cnf: &Cnf, first_new_clause: usize) {
+        self.clauses_of_var.resize(cnf.num_vars(), Vec::new());
+        for (ci, clause) in cnf.clauses().iter().enumerate().skip(first_new_clause) {
+            for &l in clause {
+                self.clauses_of_var[l.var().index()].push(ci as u32);
+            }
+        }
     }
 
     /// Computes the residual signature of the suffix starting at the given
@@ -270,8 +280,7 @@ mod tests {
         let mut cnf = Cnf::new(3);
         cnf.add_clause([lit(0, true), lit(1, true)]);
         cnf.add_clause([lit(1, false), lit(2, true)]);
-        let idx =
-            ConnectivityIndex::build(&cnf, &[Var::new(0), Var::new(1), Var::new(2)]);
+        let idx = ConnectivityIndex::build(&cnf, &[Var::new(0), Var::new(1), Var::new(2)]);
         assert_eq!(idx.relevant_at(2), &[1]);
     }
 
@@ -279,8 +288,7 @@ mod tests {
     fn signature_filters_prefix_values() {
         let mut cnf = Cnf::new(3);
         cnf.add_clause([lit(1, true), lit(2, true)]);
-        let idx =
-            ConnectivityIndex::build(&cnf, &[Var::new(0), Var::new(1), Var::new(2)]);
+        let idx = ConnectivityIndex::build(&cnf, &[Var::new(0), Var::new(1), Var::new(2)]);
         // At depth 2, only position 1 matters.
         let s1 = idx.signature(2, &[true, false]);
         let s2 = idx.signature(2, &[false, false]);

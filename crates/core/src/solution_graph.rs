@@ -209,13 +209,7 @@ impl SolutionGraph {
         out
     }
 
-    fn paths_rec(
-        &self,
-        n: SolutionNodeId,
-        vars: &[Var],
-        path: &mut Vec<Lit>,
-        out: &mut CubeSet,
-    ) {
+    fn paths_rec(&self, n: SolutionNodeId, vars: &[Var], path: &mut Vec<Lit>, out: &mut CubeSet) {
         if n == SolutionNodeId::BOTTOM {
             return;
         }
@@ -255,8 +249,7 @@ impl SolutionGraph {
     /// `vars.len() != num_levels`.
     pub fn add_cube_set(&mut self, set: &CubeSet, vars: &[Var]) -> SolutionNodeId {
         assert_eq!(vars.len(), self.num_levels, "variable list length mismatch");
-        let position: HashMap<Var, usize> =
-            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let position: HashMap<Var, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut root = SolutionNodeId::BOTTOM;
         for cube in set {
             let mut node = SolutionNodeId::TOP;
@@ -644,9 +637,7 @@ mod tests {
         for bits in 0..(1u64 << n) {
             if bits.count_ones() % 2 == 1 {
                 set.insert(cube(
-                    &(0..n)
-                        .map(|i| (i, bits >> i & 1 == 1))
-                        .collect::<Vec<_>>(),
+                    &(0..n).map(|i| (i, bits >> i & 1 == 1)).collect::<Vec<_>>(),
                 ));
             }
         }
@@ -767,10 +758,7 @@ mod tests {
         let complement = g.diff(SolutionNodeId::TOP, a);
         assert_eq!(g.minterm_count(complement), 2);
         for bits in 0..4u64 {
-            assert_eq!(
-                g.contains_bits(complement, bits),
-                !g.contains_bits(a, bits)
-            );
+            assert_eq!(g.contains_bits(complement, bits), !g.contains_bits(a, bits));
         }
     }
 

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use presat_logic::{Assignment, Lit};
+use presat_logic::{Assignment, Cnf, Lit, Var};
 use presat_obs::{Event, ObsSink};
 use presat_sat::{SolveResult, Solver};
 
@@ -131,9 +131,16 @@ pub(crate) enum SigKey {
 /// sequential engine runs one `Search` for the whole problem; the parallel
 /// engine (`crate::parallel`) runs one per partition cube, threading the
 /// persistent pieces (solver, indices, graph, cache) through a worker so
-/// they warm up across that worker's cubes.
+/// they warm up across that worker's cubes; the incremental session
+/// (`crate::incremental`) threads them across whole `enumerate` calls.
+///
+/// `prefix_lits` may carry extra non-branching assumptions (activation
+/// literals) *ahead* of the branching prefix: `prefix_vals` indexes
+/// branching positions only, so the two vectors are allowed to differ in
+/// length by the number of base assumptions.
 pub(crate) struct Search<'p> {
-    pub(crate) problem: &'p AllSatProblem,
+    pub(crate) cnf: &'p Cnf,
+    pub(crate) important: &'p [Var],
     pub(crate) solver: Solver,
     pub(crate) conn: Option<ConnectivityIndex>,
     pub(crate) residual: Option<ResidualIndex>,
@@ -161,13 +168,13 @@ impl Search<'_> {
         let Some(alpha) = self.solver.propagate_under(&self.prefix_lits) else {
             return Some(Err(()));
         };
-        let suffix = &self.problem.important[depth..];
+        let suffix = &self.important[depth..];
         let implied: Vec<(u32, bool)> = suffix
             .iter()
             .enumerate()
             .filter_map(|(i, &v)| alpha.value(v).map(|b| ((depth + i) as u32, b)))
             .collect();
-        let cone = residual.signature(&self.problem.cnf, &alpha, suffix);
+        let cone = residual.signature(self.cnf, &alpha, suffix);
         Some(Ok(SigKey::Dynamic(depth as u32, implied, cone)))
     }
 
@@ -188,7 +195,7 @@ impl Search<'_> {
                 }
             }
         };
-        let k = self.problem.important.len();
+        let k = self.important.len();
         if depth == k {
             return SolutionNodeId::TOP;
         }
@@ -213,7 +220,7 @@ impl Search<'_> {
             None => None,
         };
 
-        let var = self.problem.important[depth];
+        let var = self.important[depth];
         let hint_phase = model
             .value(var)
             .expect("solver models are total over the formula space");
@@ -250,14 +257,11 @@ impl AllSatEngine for SuccessDrivenAllSat {
         "success-driven"
     }
 
-    fn enumerate_with_sink(
-        &self,
-        problem: &AllSatProblem,
-        sink: &mut dyn ObsSink,
-    ) -> AllSatResult {
+    fn enumerate_with_sink(&self, problem: &AllSatProblem, sink: &mut dyn ObsSink) -> AllSatResult {
         let k = problem.important.len();
         let mut search = Search {
-            problem,
+            cnf: &problem.cnf,
+            important: &problem.important,
             solver: Solver::from_cnf(&problem.cnf),
             conn: (self.signature == SignatureMode::Static)
                 .then(|| ConnectivityIndex::build(&problem.cnf, &problem.important)),

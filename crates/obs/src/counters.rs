@@ -153,6 +153,15 @@ pub struct PreimageCounters {
     pub iterations: u64,
     /// Engine wall-clock time in nanoseconds.
     pub wall_time_ns: u64,
+    /// Preimage calls answered by a warm session encoding instead of a
+    /// fresh transition-relation encoding (incremental sessions).
+    pub encodings_reused: u64,
+    /// Learnt clauses alive in the persistent solver at call start, summed
+    /// over calls (incremental sessions; 0 on the rebuild path).
+    pub learnts_carried: u64,
+    /// Activation literals allocated for per-iteration clause groups
+    /// (incremental sessions).
+    pub activation_lits: u64,
     /// Full counter snapshot of the underlying all-SAT layer (SAT engines).
     pub allsat: AllSatCounters,
 }
@@ -173,6 +182,9 @@ impl PreimageCounters {
         self.sat_conflicts += other.sat_conflicts;
         self.iterations += other.iterations.max(1);
         self.wall_time_ns += other.wall_time_ns;
+        self.encodings_reused += other.encodings_reused;
+        self.learnts_carried += other.learnts_carried;
+        self.activation_lits += other.activation_lits;
         self.allsat.absorb(&other.allsat);
     }
 }

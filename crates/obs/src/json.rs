@@ -223,10 +223,7 @@ fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
                     Some(b'u') => {
                         for i in 1..=4 {
                             if !b.get(*pos + i).is_some_and(u8::is_ascii_hexdigit) {
-                                return Err(format!(
-                                    "bad \\u escape at byte {pos}",
-                                    pos = *pos
-                                ));
+                                return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
                             }
                         }
                         *pos += 5;

@@ -124,6 +124,9 @@ impl Stats {
             .field_u64("bdd_nodes", self.preimage.bdd_nodes)
             .field_u64("sat_conflicts", self.preimage.sat_conflicts)
             .field_u64("wall_time_ns", self.preimage.wall_time_ns)
+            .field_u64("encodings_reused", self.preimage.encodings_reused)
+            .field_u64("learnts_carried", self.preimage.learnts_carried)
+            .field_u64("activation_lits", self.preimage.activation_lits)
             .end_object();
         o.finish()
     }
@@ -151,6 +154,9 @@ impl Stats {
             "preimage_result_cubes",
             "preimage_iterations",
             "preimage_bdd_nodes",
+            "preimage_encodings_reused",
+            "preimage_learnts_carried",
+            "preimage_activation_lits",
         ])
     }
 
@@ -176,6 +182,9 @@ impl Stats {
             self.preimage.result_cubes,
             self.preimage.iterations,
             self.preimage.bdd_nodes,
+            self.preimage.encodings_reused,
+            self.preimage.learnts_carried,
+            self.preimage.activation_lits,
         ];
         let mut fields = vec![csv::escape_field(&self.engine)];
         fields.extend(nums.iter().map(u64::to_string));

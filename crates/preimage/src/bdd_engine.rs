@@ -1,7 +1,7 @@
 //! BDD-based symbolic preimage computation (the classical baseline).
 
 use presat_bdd::{BddId, BddManager};
-use presat_circuit::{Circuit, AigRef};
+use presat_circuit::{AigRef, Circuit};
 use presat_logic::{Cube, CubeSet, Lit, Var};
 use presat_obs::{Event, ObsSink, Timer};
 
@@ -171,7 +171,10 @@ impl PreimageEngine for BddPreimage {
                 .map(|c| {
                     Cube::from_lits(c.lits().iter().map(|l| {
                         let i = l.var().index();
-                        assert!(i < num_in, "environment cube mentions input position {i} ≥ {num_in}");
+                        assert!(
+                            i < num_in,
+                            "environment cube mentions input position {i} ≥ {num_in}"
+                        );
                         Lit::with_phase(Var::new(n + i), l.phase())
                     }))
                     .expect("distinct positions stay distinct")

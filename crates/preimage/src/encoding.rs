@@ -57,30 +57,12 @@ impl StepEncoding {
     ) -> Self {
         let mut enc = Self::build(circuit, target);
         if let Some(env) = env {
-            let n = circuit.num_latches();
-            let m = circuit.num_inputs();
-            let input_lit = |l: Lit| {
-                let i = l.var().index();
-                assert!(i < m, "environment cube mentions input position {i} ≥ {m}");
-                Lit::with_phase(Var::new(n + i), l.phase())
-            };
-            if env.is_empty() {
-                enc.cnf.add_clause([]); // no permitted input: empty preimage
-            } else if env.len() == 1 {
-                for &l in env.cubes()[0].lits() {
-                    enc.cnf.add_unit(input_lit(l));
-                }
-            } else {
-                let mut selectors = Vec::with_capacity(env.len());
-                for cube in env {
-                    let sel = Lit::pos(enc.cnf.fresh_var());
-                    for &l in cube.lits() {
-                        enc.cnf.add_clause([!sel, input_lit(l)]);
-                    }
-                    selectors.push(sel);
-                }
-                enc.cnf.add_clause(selectors);
-            }
+            append_env(
+                &mut enc.cnf,
+                env,
+                circuit.num_latches(),
+                circuit.num_inputs(),
+            );
         }
         enc
     }
@@ -113,9 +95,7 @@ impl StepEncoding {
         // support — here we encode all of them; cones outside the target's
         // support cost clauses but not correctness; keep it simple and
         // deterministic).
-        let next_lits: Vec<Lit> = (0..n)
-            .map(|j| enc.lit_of(circuit.latch_next(j)))
-            .collect();
+        let next_lits: Vec<Lit> = (0..n).map(|j| enc.lit_of(circuit.latch_next(j))).collect();
         let mut cnf = enc.into_cnf();
 
         // Impose T over the next-state literals.
@@ -164,6 +144,12 @@ impl StepEncoding {
         &self.cnf
     }
 
+    /// Consumes the encoding, handing the CNF to the caller (the all-SAT
+    /// problem takes ownership; no clone on the hot path).
+    pub fn into_cnf(self) -> Cnf {
+        self.cnf
+    }
+
     /// The present-state CNF variables in latch order (the important set).
     pub fn state_vars(&self) -> Vec<Var> {
         Var::range(self.num_latches).collect()
@@ -174,6 +160,126 @@ impl StepEncoding {
         (0..self.num_inputs)
             .map(|i| Var::new(self.num_latches + i))
             .collect()
+    }
+
+    /// Number of latches of the encoded circuit.
+    pub fn num_latches(&self) -> usize {
+        self.num_latches
+    }
+
+    /// Number of primary inputs of the encoded circuit.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+}
+
+/// Appends environment constraints over the input block (`Var::new(n + i)`
+/// = input `i`) to `cnf`: unit clauses for a single permitted cube, one
+/// selector per cube plus an at-least-one clause otherwise.
+fn append_env(cnf: &mut Cnf, env: &presat_logic::CubeSet, n: usize, m: usize) {
+    let input_lit = |l: Lit| {
+        let i = l.var().index();
+        assert!(i < m, "environment cube mentions input position {i} ≥ {m}");
+        Lit::with_phase(Var::new(n + i), l.phase())
+    };
+    if env.is_empty() {
+        cnf.add_clause([]); // no permitted input: empty preimage
+    } else if env.len() == 1 {
+        for &l in env.cubes()[0].lits() {
+            cnf.add_unit(input_lit(l));
+        }
+    } else {
+        let mut selectors = Vec::with_capacity(env.len());
+        for cube in env {
+            let sel = Lit::pos(cnf.fresh_var());
+            for &l in cube.lits() {
+                cnf.add_clause([!sel, input_lit(l)]);
+            }
+            selectors.push(sel);
+        }
+        cnf.add_clause(selectors);
+    }
+}
+
+/// The *target-free* CNF base for an incremental preimage session: the
+/// Tseitin encoding of every next-state cone (plus the optional input
+/// environment), built **once** per circuit. Layout is identical to
+/// [`StepEncoding`]; what `StepEncoding` imposes as permanent target
+/// clauses, the session adds per iteration under a fresh activation
+/// literal (see `PreimageSession`).
+///
+/// # Examples
+///
+/// ```
+/// use presat_circuit::generators;
+/// use presat_preimage::StepBase;
+///
+/// let c = generators::counter(3, false);
+/// let base = StepBase::build(&c, None);
+/// assert_eq!(base.next_lits().len(), 3);
+/// assert_eq!(base.state_vars()[0].index(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StepBase {
+    cnf: Cnf,
+    next_lits: Vec<Lit>,
+    num_latches: usize,
+    num_inputs: usize,
+}
+
+impl StepBase {
+    /// Encodes the step relation of `circuit` (all next-state cones, no
+    /// target), restricting inputs to `env` when given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is incomplete or an environment cube mentions
+    /// an input position out of range.
+    pub fn build(circuit: &Circuit, env: Option<&presat_logic::CubeSet>) -> Self {
+        circuit.validate().expect("circuit must be complete");
+        let n = circuit.num_latches();
+        let m = circuit.num_inputs();
+        let mut leaf_vars = Vec::with_capacity(m + n);
+        for i in 0..m {
+            leaf_vars.push(Var::new(n + i));
+        }
+        for j in 0..n {
+            leaf_vars.push(Var::new(j));
+        }
+        let base = Cnf::new(n + m);
+        let mut enc = Tseitin::with_base_cnf(circuit.aig(), leaf_vars, base);
+        let next_lits: Vec<Lit> = (0..n).map(|j| enc.lit_of(circuit.latch_next(j))).collect();
+        let mut cnf = enc.into_cnf();
+        if let Some(env) = env {
+            append_env(&mut cnf, env, n, m);
+        }
+        StepBase {
+            cnf,
+            next_lits,
+            num_latches: n,
+            num_inputs: m,
+        }
+    }
+
+    /// The target-free CNF.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// Consumes the base, handing over the CNF and the next-state function
+    /// literals (in latch order).
+    pub fn into_parts(self) -> (Cnf, Vec<Lit>) {
+        (self.cnf, self.next_lits)
+    }
+
+    /// The next-state function literals, position `j` = latch `j`.
+    pub fn next_lits(&self) -> &[Lit] {
+        &self.next_lits
+    }
+
+    /// The present-state CNF variables in latch order (the important set).
+    pub fn state_vars(&self) -> Vec<Var> {
+        Var::range(self.num_latches).collect()
     }
 
     /// Number of latches of the encoded circuit.
@@ -235,9 +341,7 @@ impl ImageEncoding {
         }
         let base = Cnf::new(2 * n + m);
         let mut enc = Tseitin::with_base_cnf(circuit.aig(), leaf_vars, base);
-        let next_lits: Vec<Lit> = (0..n)
-            .map(|j| enc.lit_of(circuit.latch_next(j)))
-            .collect();
+        let next_lits: Vec<Lit> = (0..n).map(|j| enc.lit_of(circuit.latch_next(j))).collect();
         let mut cnf = enc.into_cnf();
 
         // yj ↔ fj.

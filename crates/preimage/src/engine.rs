@@ -47,6 +47,40 @@ pub trait PreimageEngine {
     fn preimage(&self, circuit: &Circuit, target: &StateSet) -> PreimageResult {
         self.preimage_with_sink(circuit, target, &mut NullSink)
     }
+
+    /// Opens a persistent *session* over `circuit` for iterated preimage
+    /// queries (the backward-reachability fixed point), or `None` when the
+    /// engine has no incremental mode — callers fall back to per-call
+    /// [`preimage_with_sink`](PreimageEngine::preimage_with_sink). A
+    /// session encodes the transition relation once and answers every
+    /// query through one warm solver; results are bit-identical to the
+    /// per-call path.
+    fn open_session(&self, circuit: &Circuit) -> Option<Box<dyn PreimageSession>> {
+        let _ = circuit;
+        None
+    }
+}
+
+/// A persistent preimage session: one transition-relation encoding, one
+/// incremental solver, many queries. Obtained from
+/// [`PreimageEngine::open_session`].
+///
+/// Between queries the caller may [`block_states`](PreimageSession::block_states)
+/// — subsequent preimages then exclude those states, which the
+/// reachability loop uses to keep already-reached states out of every
+/// later enumeration.
+pub trait PreimageSession {
+    /// A short name for tables (mirrors the owning engine's name, plus an
+    /// `+incremental` marker).
+    fn name(&self) -> String;
+
+    /// Computes `Pre(target)` minus every state blocked so far, reporting
+    /// enumeration-level events to `sink`.
+    fn preimage_with_sink(&mut self, target: &StateSet, sink: &mut dyn ObsSink) -> PreimageResult;
+
+    /// Permanently excludes `states` from all future results (adds one
+    /// blocking clause per cube to the persistent solver).
+    fn block_states(&mut self, states: &StateSet);
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ pub fn sat_image(circuit: &Circuit, source: &StateSet) -> PreimageResult {
             iterations: 1,
             wall_time_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
             allsat: result.stats,
+            ..PreimageStats::default()
         },
         states,
         elapsed,
@@ -99,12 +100,7 @@ pub fn bdd_image(circuit: &Circuit, source: &StateSet) -> PreimageResult {
     let map: HashMap<Var, Var> = (0..n).map(|j| (y_var(j), Var::new(j))).collect();
     let img = mgr.rename(img_y, &map);
 
-    let states = StateSet::from_cubes(
-        mgr.to_cube_set(img)
-            .iter()
-            .cloned()
-            .collect::<CubeSet>(),
-    );
+    let states = StateSet::from_cubes(mgr.to_cube_set(img).iter().cloned().collect::<CubeSet>());
     PreimageResult {
         stats: PreimageStats {
             result_cubes: states.num_cubes() as u64,
@@ -249,7 +245,10 @@ mod tests {
 
     #[test]
     fn parity_and_arbiter_images() {
-        check_image(&generators::parity(3), &StateSet::from_partial(&[(3, false)]));
+        check_image(
+            &generators::parity(3),
+            &StateSet::from_partial(&[(3, false)]),
+        );
         check_image(
             &generators::round_robin_arbiter(2),
             &StateSet::from_partial(&[(0, true), (1, false)]),

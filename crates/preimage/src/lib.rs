@@ -49,16 +49,20 @@ pub mod oracle;
 mod output;
 mod reach;
 mod sat_engine;
+mod session;
 mod state_set;
 mod unrolled;
 
 pub use bdd_engine::{BddPreimage, BddStrategy};
-pub use encoding::{ImageEncoding, StepEncoding};
-pub use engine::{PreimageEngine, PreimageResult, PreimageStats};
+pub use encoding::{ImageEncoding, StepBase, StepEncoding};
+pub use engine::{PreimageEngine, PreimageResult, PreimageSession, PreimageStats};
 pub use image::{bdd_image, forward_reach, sat_image, sequential_depth};
 pub use justify::{justify, Trace, TraceStep};
 pub use output::excitation_set;
-pub use reach::{backward_reach, backward_reach_with_sink, ReachIteration, ReachOptions, ReachReport};
+pub use reach::{
+    backward_reach, backward_reach_with_sink, ReachIteration, ReachOptions, ReachReport,
+};
 pub use sat_engine::SatPreimage;
-pub use unrolled::{k_step_preimage, UnrolledEncoding};
+pub use session::SatPreimageSession;
 pub use state_set::StateSet;
+pub use unrolled::{k_step_preimage, UnrolledEncoding};

@@ -80,6 +80,7 @@ pub fn excitation_set(circuit: &Circuit, output_index: usize, value: bool) -> Pr
             iterations: 1,
             wall_time_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
             allsat: result.stats,
+            ..PreimageStats::default()
         },
         states,
         elapsed,

@@ -11,7 +11,7 @@ use crate::engine::{PreimageEngine, PreimageStats};
 use crate::state_set::StateSet;
 
 /// Options for the reachability loop.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct ReachOptions {
     /// Stop after this many iterations even if not converged
     /// (`None` = run to the fixed point).
@@ -21,6 +21,23 @@ pub struct ReachOptions {
     /// Sound (extra states are all backward-reachable) and often shrinks
     /// the frontier's cube representation; the reached set stays exact.
     pub simplify_frontier: bool,
+    /// Drive the fixed point through one persistent
+    /// [`crate::PreimageSession`] when the engine offers one (the
+    /// default): the transition relation is encoded once, the solver stays
+    /// warm across iterations, and reached states are blocked inside the
+    /// solver so they are never re-derived. Bit-identical results either
+    /// way; engines without sessions silently use the per-call path.
+    pub incremental: bool,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        ReachOptions {
+            max_iterations: None,
+            simplify_frontier: false,
+            incremental: true,
+        }
+    }
 }
 
 /// One row of the per-iteration report (the series plotted in figure F3).
@@ -104,6 +121,22 @@ pub fn backward_reach_with_sink(
     let position_vars: Vec<Var> = Var::range(n).collect();
     let mut graph = SolutionGraph::new(n);
 
+    // Incremental mode: one persistent session answers every iteration.
+    // Blocking the target up front keeps the invariant «blocked set ==
+    // reached set», so each session preimage already returns
+    // Pre(frontier) ∖ reached and iteration k's states are never
+    // re-derived in iteration k+1. The set subtraction below is still
+    // performed on the canonical graph — `diff` of an already-disjoint set
+    // is the identity — which keeps the two paths bit-identical.
+    let mut session = if options.incremental {
+        engine.open_session(circuit)
+    } else {
+        None
+    };
+    if let Some(s) = session.as_deref_mut() {
+        s.block_states(target);
+    }
+
     let mut reached = graph.add_cube_set(target.cubes(), &position_vars);
     let mut frontier_node = reached;
     let mut iterations = Vec::new();
@@ -115,17 +148,20 @@ pub fn backward_reach_with_sink(
             converged = true;
             break;
         }
-        if options
-            .max_iterations
-            .is_some_and(|cap| iteration > cap)
-        {
+        if options.max_iterations.is_some_and(|cap| iteration > cap) {
             break;
         }
         let frontier = StateSet::from_cubes(graph.to_cube_set(frontier_node, &position_vars));
         let start = Instant::now();
-        let pre = engine.preimage_with_sink(circuit, &frontier, sink);
+        let pre = match session.as_deref_mut() {
+            Some(s) => s.preimage_with_sink(&frontier, sink),
+            None => engine.preimage_with_sink(circuit, &frontier, sink),
+        };
         let elapsed = start.elapsed();
         stats.absorb(&pre.stats);
+        if let Some(s) = session.as_deref_mut() {
+            s.block_states(&pre.states);
+        }
 
         let pre_node = graph.add_cube_set(pre.states.cubes(), &position_vars);
         let new_node = graph.diff(pre_node, reached);
@@ -180,9 +216,9 @@ pub fn backward_reach_with_sink(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bdd_engine::BddPreimage;
     use crate::oracle;
     use crate::sat_engine::SatPreimage;
-    use crate::bdd_engine::BddPreimage;
     use presat_circuit::generators;
 
     fn check_reach(circuit: &Circuit, target: &StateSet) {
@@ -255,7 +291,10 @@ mod tests {
     #[test]
     fn frontier_simplification_preserves_the_fixed_point() {
         for (circuit, target) in [
-            (generators::counter(4, true), StateSet::from_state_bits(9, 4)),
+            (
+                generators::counter(4, true),
+                StateSet::from_state_bits(9, 4),
+            ),
             (
                 generators::round_robin_arbiter(2),
                 StateSet::from_partial(&[(2, true)]),
@@ -281,7 +320,8 @@ mod tests {
             );
             assert!(simplified.converged);
             assert_eq!(
-                plain.reached_states, simplified.reached_states,
+                plain.reached_states,
+                simplified.reached_states,
                 "{}",
                 circuit.name()
             );

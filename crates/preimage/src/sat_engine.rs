@@ -1,15 +1,16 @@
 //! SAT-enumerative preimage engines.
 
 use presat_allsat::{
-    AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, ParallelAllSat,
-    SignatureMode, SuccessDrivenAllSat,
+    AllSatEngine, AllSatProblem, AllSatResult, BlockingAllSat, MinimizedBlockingAllSat,
+    ParallelAllSat, SignatureMode, SuccessDrivenAllSat,
 };
 use presat_circuit::Circuit;
 use presat_logic::CubeSet;
 use presat_obs::{Event, ObsSink, Timer};
 
 use crate::encoding::StepEncoding;
-use crate::engine::{PreimageEngine, PreimageResult, PreimageStats};
+use crate::engine::{PreimageEngine, PreimageResult, PreimageSession, PreimageStats};
+use crate::session::SatPreimageSession;
 use crate::state_set::StateSet;
 
 /// Which all-solutions engine a [`SatPreimage`] runs.
@@ -154,7 +155,8 @@ impl PreimageEngine for SatPreimage {
     ) -> PreimageResult {
         let timer = Timer::start();
         let enc = StepEncoding::build_with_env(circuit, target, self.env.as_ref());
-        let problem = AllSatProblem::new(enc.cnf().clone(), enc.state_vars());
+        let state_vars = enc.state_vars();
+        let problem = AllSatProblem::new(enc.into_cnf(), state_vars);
         let result = match self.kind {
             SatEngineKind::Blocking => BlockingAllSat::new().enumerate_with_sink(&problem, sink),
             SatEngineKind::MinBlocking => {
@@ -177,25 +179,55 @@ impl PreimageEngine for SatPreimage {
                 }
             }
         };
-        let states = StateSet::from_cubes(result.cubes.clone());
+        let AllSatResult {
+            cubes,
+            stats: astats,
+            ..
+        } = result;
+        let result_cubes = cubes.len() as u64;
+        let states = StateSet::from_cubes(cubes);
         let wall_time_ns = timer.elapsed_ns();
         sink.record(&Event::EngineDone { wall_time_ns });
         PreimageResult {
             stats: PreimageStats {
-                result_cubes: result.cubes.len() as u64,
-                solver_calls: result.stats.solver_calls,
-                blocking_clauses: result.stats.blocking_clauses,
-                graph_nodes: result.stats.graph_nodes,
-                cache_hits: result.stats.cache_hits,
+                result_cubes,
+                solver_calls: astats.solver_calls,
+                blocking_clauses: astats.blocking_clauses,
+                graph_nodes: astats.graph_nodes,
+                cache_hits: astats.cache_hits,
                 bdd_nodes: 0,
-                sat_conflicts: result.stats.sat_conflicts,
+                sat_conflicts: astats.sat_conflicts,
                 iterations: 1,
                 wall_time_ns,
-                allsat: result.stats,
+                allsat: astats,
+                ..PreimageStats::default()
             },
             states,
             elapsed: timer.elapsed(),
         }
+    }
+
+    fn open_session(&self, circuit: &Circuit) -> Option<Box<dyn PreimageSession>> {
+        // Only the success-driven kind has an incremental mode; the
+        // blocking baselines mutate their formula per model and gain
+        // nothing from a persistent encoding.
+        let SatEngineKind::SuccessDriven {
+            signature,
+            model_guidance,
+        } = self.kind
+        else {
+            return None;
+        };
+        let config = SuccessDrivenAllSat::new()
+            .with_signature(signature)
+            .with_model_guidance(model_guidance);
+        Some(Box::new(SatPreimageSession::open(
+            circuit,
+            config,
+            self.jobs,
+            self.env.as_ref(),
+            format!("{}+incremental", PreimageEngine::name(self)),
+        )))
     }
 }
 
@@ -318,7 +350,9 @@ mod tests {
             let t = StateSet::from_partial(&[(0, true)]);
             let seq = SatPreimage::success_driven().preimage(c, &t);
             for jobs in [2, 4, 7] {
-                let par = SatPreimage::success_driven().with_jobs(jobs).preimage(c, &t);
+                let par = SatPreimage::success_driven()
+                    .with_jobs(jobs)
+                    .preimage(c, &t);
                 // Same cube list, not just the same state set.
                 assert_eq!(
                     par.states.cubes(),

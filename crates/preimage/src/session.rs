@@ -1,0 +1,250 @@
+//! The incremental preimage session: one encoding, one solver, many
+//! frontiers.
+//!
+//! The backward-reachability fixed point computes `Pre(F_1), Pre(F_2), …`
+//! over the *same* transition relation — only the target side changes.
+//! [`SatPreimageSession`] therefore Tseitin-encodes the next-state cones
+//! **once** ([`StepBase`]) and keeps one
+//! [`IncrementalAllSat`] alive for the whole loop:
+//!
+//! * Each iteration's target clauses are tagged with a fresh *activation
+//!   literal* `a` (every clause carries `¬a`) and enabled by assuming `a`
+//!   for that enumeration only. Afterwards the group is retired — `¬a`
+//!   becomes a permanent unit, and the group's clauses (plus any learnt
+//!   clause that depended on them, which necessarily contains `¬a`) go
+//!   inert and are garbage-collected.
+//! * Learnt clauses about the *transition relation itself* contain no
+//!   activation literal and keep pruning search in every later iteration,
+//!   along with saved phases, variable activities, and the success-driven
+//!   signature cache.
+//! * [`block_states`](crate::PreimageSession::block_states) adds permanent
+//!   blocking clauses over the state variables, so states already known
+//!   backward-reachable are never re-enumerated.
+
+use presat_allsat::{AllSatResult, IncrementalAllSat, SuccessDrivenAllSat};
+use presat_circuit::Circuit;
+use presat_logic::{CubeSet, Lit};
+use presat_obs::{Event, ObsSink, Timer};
+
+use crate::encoding::StepBase;
+use crate::engine::{PreimageResult, PreimageSession, PreimageStats};
+use crate::state_set::StateSet;
+
+/// A persistent SAT preimage session (see the module docs). Created via
+/// [`crate::PreimageEngine::open_session`] on a success-driven
+/// [`crate::SatPreimage`].
+pub struct SatPreimageSession {
+    inner: IncrementalAllSat,
+    /// Next-state function literals, position `j` = latch `j`.
+    next_lits: Vec<Lit>,
+    num_latches: usize,
+    name: String,
+    /// Preimage calls served so far (every call after the first reuses the
+    /// session encoding).
+    iterations: u64,
+}
+
+impl SatPreimageSession {
+    /// Encodes `circuit` (with optional input environment `env`) and opens
+    /// the session.
+    pub(crate) fn open(
+        circuit: &Circuit,
+        config: SuccessDrivenAllSat,
+        jobs: usize,
+        env: Option<&CubeSet>,
+        name: String,
+    ) -> Self {
+        let base = StepBase::build(circuit, env);
+        let num_latches = base.num_latches();
+        let state_vars = base.state_vars();
+        let (cnf, next_lits) = base.into_parts();
+        SatPreimageSession {
+            inner: IncrementalAllSat::new(cnf, state_vars, config, jobs),
+            next_lits,
+            num_latches,
+            name,
+            iterations: 0,
+        }
+    }
+
+    /// Adds the target constraint `T(Y)` as a clause group under a fresh
+    /// activation literal and returns that literal. Mirrors the clause
+    /// shapes of [`crate::StepEncoding`] (units / selector-per-cube), each
+    /// clause additionally carrying the group tag.
+    fn activate_target(&mut self, target: &StateSet) -> Lit {
+        let act = Lit::pos(self.inner.add_var());
+        let n = self.num_latches;
+        let cubes = target.cubes();
+        if cubes.is_empty() {
+            // No predecessor exists while this group is active. (The unit
+            // asserts ¬act outright; the enumeration's `act` assumption
+            // then fails immediately, and retirement is a no-op.)
+            self.inner.add_clause(vec![!act]);
+            return act;
+        }
+        let next_lit = |lits: &[Lit], l: Lit| {
+            let j = l.var().index();
+            assert!(j < n, "target cube mentions latch position {j} ≥ {n}");
+            if l.is_pos() {
+                lits[j]
+            } else {
+                !lits[j]
+            }
+        };
+        if cubes.len() == 1 {
+            for &l in cubes.cubes()[0].lits() {
+                let yl = next_lit(&self.next_lits, l);
+                self.inner.add_clause(vec![!act, yl]);
+            }
+        } else {
+            let mut selectors = Vec::with_capacity(cubes.len() + 1);
+            selectors.push(!act);
+            for cube in cubes {
+                let sel = Lit::pos(self.inner.add_var());
+                for &l in cube.lits() {
+                    let yl = next_lit(&self.next_lits, l);
+                    self.inner.add_clause(vec![!act, !sel, yl]);
+                }
+                selectors.push(sel);
+            }
+            self.inner.add_clause(selectors);
+        }
+        act
+    }
+}
+
+impl PreimageSession for SatPreimageSession {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn preimage_with_sink(&mut self, target: &StateSet, sink: &mut dyn ObsSink) -> PreimageResult {
+        let timer = Timer::start();
+        let learnts_carried = self.inner.live_learnts() as u64;
+        let encodings_reused = u64::from(self.iterations > 0);
+        let act = self.activate_target(target);
+        let result = self.inner.enumerate_with_sink(&[act], sink);
+        self.inner.retire(act);
+        self.iterations += 1;
+        let AllSatResult {
+            cubes,
+            stats: astats,
+            ..
+        } = result;
+        let result_cubes = cubes.len() as u64;
+        let states = StateSet::from_cubes(cubes);
+        let wall_time_ns = timer.elapsed_ns();
+        sink.record(&Event::EngineDone { wall_time_ns });
+        PreimageResult {
+            stats: PreimageStats {
+                result_cubes,
+                solver_calls: astats.solver_calls,
+                blocking_clauses: astats.blocking_clauses,
+                graph_nodes: astats.graph_nodes,
+                cache_hits: astats.cache_hits,
+                bdd_nodes: 0,
+                sat_conflicts: astats.sat_conflicts,
+                iterations: 1,
+                wall_time_ns,
+                encodings_reused,
+                learnts_carried,
+                activation_lits: 1,
+                allsat: astats,
+            },
+            states,
+            elapsed: timer.elapsed(),
+        }
+    }
+
+    fn block_states(&mut self, states: &StateSet) {
+        // State cubes are over latch positions, which *are* the CNF state
+        // variables — negate each cube into one permanent blocking clause.
+        for cube in states.cubes() {
+            let clause: Vec<Lit> = cube.lits().iter().map(|&l| !l).collect();
+            self.inner.add_clause(clause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PreimageEngine;
+    use crate::sat_engine::SatPreimage;
+    use presat_circuit::generators;
+
+    #[test]
+    fn session_matches_per_call_engine_on_fresh_targets() {
+        let c = generators::counter(4, false);
+        let engine = SatPreimage::success_driven();
+        let mut session = engine
+            .open_session(&c)
+            .expect("success-driven has sessions");
+        for bits in [9u64, 3, 0, 15] {
+            let t = StateSet::from_state_bits(bits, 4);
+            let cold = engine.preimage(&c, &t);
+            let warm = session.preimage_with_sink(&t, &mut presat_obs::NullSink);
+            assert_eq!(
+                warm.states.cubes(),
+                cold.states.cubes(),
+                "target {bits} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn session_counters_report_reuse() {
+        let c = generators::lfsr(4);
+        let engine = SatPreimage::success_driven();
+        let mut session = engine.open_session(&c).unwrap();
+        let t = StateSet::from_state_bits(13, 4);
+        let first = session.preimage_with_sink(&t, &mut presat_obs::NullSink);
+        assert_eq!(first.stats.encodings_reused, 0);
+        assert_eq!(first.stats.activation_lits, 1);
+        let second = session.preimage_with_sink(&t, &mut presat_obs::NullSink);
+        assert_eq!(second.stats.encodings_reused, 1);
+    }
+
+    #[test]
+    fn blocked_states_disappear_from_results() {
+        let c = generators::counter(3, false);
+        let engine = SatPreimage::success_driven();
+        let mut session = engine.open_session(&c).unwrap();
+        let t = StateSet::from_state_bits(5, 3);
+        let pre = session.preimage_with_sink(&t, &mut presat_obs::NullSink);
+        assert_eq!(pre.states.minterm_count(3), 1); // predecessor: 4
+        session.block_states(&pre.states);
+        let again = session.preimage_with_sink(&t, &mut presat_obs::NullSink);
+        assert!(
+            again.states.is_empty(),
+            "blocked predecessor must not recur"
+        );
+    }
+
+    #[test]
+    fn empty_target_in_session_yields_empty_preimage() {
+        let c = generators::counter(3, false);
+        let engine = SatPreimage::success_driven();
+        let mut session = engine.open_session(&c).unwrap();
+        let pre = session.preimage_with_sink(&StateSet::empty(), &mut presat_obs::NullSink);
+        assert!(pre.states.is_empty());
+        // The session survives the degenerate group.
+        let t = StateSet::from_state_bits(5, 3);
+        let pre = session.preimage_with_sink(&t, &mut presat_obs::NullSink);
+        assert_eq!(pre.states.minterm_count(3), 1);
+    }
+
+    #[test]
+    fn blocking_engines_have_no_session() {
+        let c = generators::counter(3, false);
+        assert!(SatPreimage::blocking().open_session(&c).is_none());
+        assert!(SatPreimage::min_blocking().open_session(&c).is_none());
+    }
+
+    #[test]
+    fn session_name_marks_incremental() {
+        let c = generators::counter(3, false);
+        let s = SatPreimage::success_driven().open_session(&c).unwrap();
+        assert!(s.name().contains("incremental"));
+    }
+}

@@ -83,9 +83,7 @@ impl UnrolledEncoding {
                 leaf_vars.push(Var::new(frame_state_base(t) + j));
             }
             let mut enc = Tseitin::with_base_cnf(circuit.aig(), leaf_vars, cnf);
-            let next_lits: Vec<Lit> = (0..n)
-                .map(|j| enc.lit_of(circuit.latch_next(j)))
-                .collect();
+            let next_lits: Vec<Lit> = (0..n).map(|j| enc.lit_of(circuit.latch_next(j))).collect();
             cnf = enc.into_cnf();
             // X(t+1) ↔ δ(Xt, Wt).
             for (j, &fl) in next_lits.iter().enumerate() {
@@ -178,6 +176,7 @@ pub fn k_step_preimage(circuit: &Circuit, target: &StateSet, k: usize) -> Preima
             iterations: k as u64,
             wall_time_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
             allsat: result.stats,
+            ..PreimageStats::default()
         },
         states,
         elapsed,
@@ -187,8 +186,8 @@ pub fn k_step_preimage(circuit: &Circuit, target: &StateSet, k: usize) -> Preima
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sat_engine::SatPreimage;
     use crate::engine::PreimageEngine;
+    use crate::sat_engine::SatPreimage;
     use presat_circuit::{generators, sim};
     use std::collections::BTreeSet;
 

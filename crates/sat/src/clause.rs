@@ -64,6 +64,12 @@ impl ClauseDb {
         self.arena[cref.0 as usize].deleted = true;
     }
 
+    /// Number of arena slots (live clauses plus tombstones); `ClauseRef`s
+    /// are exactly `0..len`.
+    pub(crate) fn len(&self) -> usize {
+        self.arena.len()
+    }
+
     /// Number of live learnt clauses.
     pub(crate) fn live_learnts(&self) -> usize {
         self.learnts

@@ -814,6 +814,59 @@ impl Solver {
         self.add_clause([lit])
     }
 
+    /// Number of live learnt clauses currently in the database — what a
+    /// persistent session carries from one enumeration into the next.
+    pub fn live_learnt_count(&self) -> usize {
+        self.db.live_learnts()
+    }
+
+    /// Retires an activation-literal clause group: permanently asserts
+    /// `¬act` and garbage-collects every clause the assertion satisfies
+    /// forever.
+    ///
+    /// Protocol: an *activation literal* `act` appears only **negatively**
+    /// inside clauses (`¬act ∨ …`) and only **positively** as an
+    /// assumption. While `act` is assumed true its group clauses are
+    /// active; after retirement they are satisfied at level 0 and can never
+    /// participate in propagation or conflict analysis again. This also
+    /// covers every learnt clause derived from the group: conflict analysis
+    /// pushes the negation of any lower-level assumption into its learnt
+    /// clauses (an assumption is a decision, so minimization cannot drop
+    /// it — `literal_redundant` bails on reason-less literals), hence each
+    /// dependent learnt clause contains `¬act` and is swept here too.
+    ///
+    /// Clauses of length ≤ 2 are deliberately left alive: the binary
+    /// watcher fast path never consults the tombstone flag (binary clauses
+    /// are never deleted — see `reduce_db`). A retired binary clause is
+    /// inert anyway: the watcher on `act` becoming true never fires again,
+    /// and the opposite watcher is skipped by its now-true `¬act` blocker.
+    ///
+    /// Returns the number of clauses tombstoned. Must be called at decision
+    /// level 0 (every public entry point restores level 0).
+    pub fn retire_group(&mut self, act: Lit) -> u64 {
+        assert_eq!(self.decision_level(), 0, "retire_group requires level 0");
+        let dead = !act;
+        if !self.assume_permanently(dead) {
+            // The formula was (or became) contradictory at level 0; the
+            // arena no longer matters.
+            return 0;
+        }
+        let mut removed = 0u64;
+        for idx in 0..self.db.len() {
+            let cref = ClauseRef(idx as u32);
+            let c = self.db.get(cref);
+            if c.deleted || c.lits.len() <= 2 || !c.lits.contains(&dead) {
+                continue;
+            }
+            self.db.delete(cref);
+            removed += 1;
+            self.stats.deleted_clauses += 1;
+        }
+        self.db.sweep_learnt_index();
+        self.stats.learnt_clauses = self.db.live_learnts() as u64;
+        removed
+    }
+
     /// `true` while the clause set has not been refuted at level 0.
     pub fn is_ok(&self) -> bool {
         self.ok
@@ -1206,5 +1259,92 @@ mod tests {
         s.add_clause([lit(0, false)]);
         let _ = s.solve_with_assumptions(&[]);
         assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn retired_group_clauses_stop_constraining() {
+        // Group under act = x3: (¬act ∨ x0) ∧ (¬act ∨ ¬x0 ∨ x1 ∨ x2).
+        let mut s = Solver::new(4);
+        let act = lit(3, true);
+        s.add_clause([!act, lit(0, true)]);
+        s.add_clause([!act, lit(0, false), lit(1, true), lit(2, true)]);
+        s.add_clause([lit(1, false)]);
+        s.add_clause([lit(2, false)]);
+        // Active: x0 forced true, then the ternary clause is falsified.
+        assert!(matches!(
+            s.solve_with_assumptions(&[act]),
+            SolveResult::Unsat
+        ));
+        let removed = s.retire_group(act);
+        assert_eq!(removed, 1, "only the non-binary group clause is swept");
+        // Retired: the formula is satisfiable again and x0 is free.
+        assert!(s.solve().is_sat());
+        assert!(s.solve_with_assumptions(&[lit(0, false)]).is_sat());
+        assert!(s.is_ok());
+    }
+
+    #[test]
+    fn retirement_cycles_agree_with_fresh_solvers() {
+        // Alternate targets through activation groups on one persistent
+        // solver; every query must agree with a cold solver on the active
+        // clauses only.
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(31);
+        let n = 6;
+        let mut base = presat_logic::Cnf::new(n);
+        for _ in 0..10 {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                .collect();
+            base.add_clause(c);
+        }
+        let mut s = Solver::from_cnf(&base);
+        for round in 0..12 {
+            let act = Lit::pos(s.add_var());
+            let group: Vec<Vec<Lit>> = (0..3)
+                .map(|_| {
+                    let mut c = vec![!act];
+                    for _ in 0..2 {
+                        c.push(lit(rng.gen_range(0..n), rng.gen_bool(0.5)));
+                    }
+                    c
+                })
+                .collect();
+            for c in &group {
+                s.add_clause(c.iter().copied());
+            }
+            // Cold oracle: base + this round's group asserted outright.
+            let mut cold = Solver::from_cnf(&base);
+            for c in &group {
+                let stripped: Vec<Lit> = c[1..].to_vec();
+                cold.add_clause(stripped);
+            }
+            assert_eq!(
+                s.solve_with_assumptions(&[act]).is_sat(),
+                cold.solve().is_sat(),
+                "round {round}"
+            );
+            s.retire_group(act);
+            // The persistent solver must still agree with the plain base.
+            let mut plain = Solver::from_cnf(&base);
+            assert_eq!(s.solve().is_sat(), plain.solve().is_sat(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn retire_group_counts_learnts_correctly() {
+        let mut s = Solver::new(3);
+        s.add_clause([lit(0, true), lit(1, true), lit(2, true)]);
+        let _ = s.solve();
+        let act = Lit::pos(s.add_var());
+        s.add_clause([!act, lit(0, false), lit(1, false), lit(2, false)]);
+        let _ = s.solve_with_assumptions(&[act]);
+        s.retire_group(act);
+        assert_eq!(
+            s.stats().learnt_clauses,
+            s.live_learnt_count() as u64,
+            "learnt counter resynced after the sweep"
+        );
+        assert!(s.solve().is_sat());
     }
 }

@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR2.json: the thread-scaling sweep (median-of-N via the
-# in-tree harness) over the preimage-step and reachability workloads at
-# --jobs 1/2/4. The binary asserts parallel/sequential result equality
+# Regenerates the checked-in benchmark JSON:
+#
+#   BENCH_PR2.json — thread-scaling sweep (preimage-step + reachability
+#                    workloads at --jobs 1/2/4);
+#   BENCH_PR3.json — incremental-session sweep (rebuild-per-iteration vs
+#                    one persistent solver session across the backward
+#                    fixed point, with session-reuse counters).
+#
+# Both binaries assert result equality between the compared configurations
 # before timing anything, so a successful run is also a determinism check.
 #
 #   scripts/bench.sh              # 5 samples per case (default)
@@ -11,10 +17,11 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline -p presat-bench
 ./target/release/thread_scaling BENCH_PR2.json
+./target/release/reach_incremental BENCH_PR3.json
 
 # Show how the checked-in numbers moved (informational; timings drift with
 # hardware, the structure should not).
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
-  git --no-pager diff --stat -- BENCH_PR2.json || true
+  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json || true
 fi
 echo "bench: OK"

@@ -12,6 +12,13 @@ cargo build --release --offline
 PRESAT_TEST_JOBS=1 cargo test -q --workspace --offline
 PRESAT_TEST_JOBS=4 cargo test -q --workspace --offline
 
+# The incremental cross-check suite already compares both reachability
+# paths head-to-head; its oracle test additionally honours
+# PRESAT_TEST_INCREMENTAL, so run it once per mode (=1 session path,
+# =0 rebuild path) to pin both against ground truth.
+PRESAT_TEST_INCREMENTAL=0 cargo test -q -p presat --test incremental --offline
+PRESAT_TEST_INCREMENTAL=1 cargo test -q -p presat --test incremental --offline
+
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "verify: OK"

@@ -22,6 +22,9 @@
 //! `--jobs <n>` runs the success-driven enumeration on `n` worker threads
 //! (`0` = auto-detect, default 1); the output is bit-identical at every
 //! thread count.
+//! `reach` drives the fixed point through one persistent solver session by
+//! default (`--incremental`); `--no-incremental` rebuilds the encoding per
+//! iteration. The report is bit-identical either way.
 //! `--stats` appends one JSON object with the run's counters (SAT,
 //! all-SAT, and preimage layers) to stdout — see `presat_obs::Stats`.
 
@@ -34,11 +37,11 @@ use presat::allsat::{
 };
 use presat::circuit::{aiger, bench, Circuit};
 use presat::logic::{dimacs, Var};
+use presat::obs::{Stats, Timer};
 use presat::preimage::{
     backward_reach, bdd_image, justify, sat_image, BddPreimage, PreimageEngine, ReachOptions,
     SatPreimage, StateSet,
 };
-use presat::obs::{Stats, Timer};
 use presat::sat::{SolveResult, Solver};
 
 fn main() -> ExitCode {
@@ -91,6 +94,9 @@ fn print_usage() {
          \x20 depth <circuit> [--initial <spec>]\n\
          options: --engine blocking|min-blocking|success-driven|bdd-sub|bdd-mono\n\
          \x20        --max-iter <n>\n\
+         \x20        --incremental / --no-incremental  (reach only; default on:\n\
+         \x20                    one persistent solver session across the whole\n\
+         \x20                    fixed point; results are bit-identical)\n\
          \x20        --jobs <n>  success-driven worker threads (0 = auto,\n\
          \x20                    default 1; the result is bit-identical at\n\
          \x20                    every thread count)\n\
@@ -131,9 +137,14 @@ fn parse_state_spec(text: &str, num_latches: usize) -> Result<StateSet, String> 
             let (j, v) = part
                 .split_once('=')
                 .ok_or_else(|| format!("bad cube component {part:?}"))?;
-            let j: usize = j.trim().parse().map_err(|_| format!("bad latch index {j:?}"))?;
+            let j: usize = j
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad latch index {j:?}"))?;
             if j >= num_latches {
-                return Err(format!("latch {j} out of range (circuit has {num_latches})"));
+                return Err(format!(
+                    "latch {j} out of range (circuit has {num_latches})"
+                ));
             }
             let v = match v.trim() {
                 "0" => false,
@@ -146,15 +157,16 @@ fn parse_state_spec(text: &str, num_latches: usize) -> Result<StateSet, String> 
     } else {
         let bits = parse_bits(text)?;
         if num_latches < 64 && bits >= 1u64 << num_latches {
-            return Err(format!("state {bits} out of range for {num_latches} latches"));
+            return Err(format!(
+                "state {bits} out of range for {num_latches} latches"
+            ));
         }
         Ok(StateSet::from_state_bits(bits, num_latches))
     }
 }
 
 fn load_circuit(path: &str) -> Result<Circuit, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let ext = Path::new(path)
         .extension()
         .and_then(|e| e.to_str())
@@ -180,20 +192,21 @@ fn jobs_from_flag(args: &[String]) -> Result<usize, String> {
 
 fn sat_engine_from_flag(args: &[String]) -> Result<Box<dyn PreimageEngine>, String> {
     let jobs = jobs_from_flag(args)?;
-    Ok(match flag_value(args, "--engine").unwrap_or("success-driven") {
-        "blocking" => Box::new(SatPreimage::blocking()),
-        "min-blocking" => Box::new(SatPreimage::min_blocking()),
-        "success-driven" => Box::new(SatPreimage::success_driven().with_jobs(jobs)),
-        "bdd-sub" => Box::new(BddPreimage::substitution()),
-        "bdd-mono" => Box::new(BddPreimage::monolithic()),
-        other => return Err(format!("unknown engine {other:?}")),
-    })
+    Ok(
+        match flag_value(args, "--engine").unwrap_or("success-driven") {
+            "blocking" => Box::new(SatPreimage::blocking()),
+            "min-blocking" => Box::new(SatPreimage::min_blocking()),
+            "success-driven" => Box::new(SatPreimage::success_driven().with_jobs(jobs)),
+            "bdd-sub" => Box::new(BddPreimage::substitution()),
+            "bdd-mono" => Box::new(BddPreimage::monolithic()),
+            other => return Err(format!("unknown engine {other:?}")),
+        },
+    )
 }
 
 fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or("solve: missing DIMACS file")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let cnf = dimacs::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let timer = Timer::start();
     let mut solver = Solver::from_cnf(&cnf);
@@ -209,7 +222,14 @@ fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
             let mut line = String::from("v");
             for i in 0..cnf.num_vars() {
                 let value = model.value(Var::new(i)) == Some(true);
-                line.push_str(&format!(" {}", if value { (i + 1) as i64 } else { -((i + 1) as i64) }));
+                line.push_str(&format!(
+                    " {}",
+                    if value {
+                        (i + 1) as i64
+                    } else {
+                        -((i + 1) as i64)
+                    }
+                ));
             }
             println!("{line} 0");
             Ok(ExitCode::from(10)) // SAT-competition convention
@@ -223,8 +243,7 @@ fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_allsat(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or("allsat: missing DIMACS file")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let cnf = dimacs::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let k: usize = flag_value(args, "--project")
         .ok_or("allsat: --project <k> required")?
@@ -292,7 +311,10 @@ fn cmd_preimage(args: &[String]) -> Result<ExitCode, String> {
     let engine = sat_engine_from_flag(args)?;
     let result = engine.preimage(&circuit, &target);
     if has_flag(args, "--stats") {
-        println!("{}", Stats::from_preimage(engine.name(), &result.stats).to_json());
+        println!(
+            "{}",
+            Stats::from_preimage(engine.name(), &result.stats).to_json()
+        );
     }
     println!(
         "{}: {} states in {} cubes [{}] in {:.2?}",
@@ -344,6 +366,9 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
         Some(v) => Some(v.parse().map_err(|_| "reach: bad --max-iter")?),
         None => None,
     };
+    if has_flag(args, "--incremental") && has_flag(args, "--no-incremental") {
+        return Err("reach: --incremental and --no-incremental are mutually exclusive".into());
+    }
     let engine = sat_engine_from_flag(args)?;
     let report = backward_reach(
         engine.as_ref(),
@@ -351,11 +376,18 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
         &target,
         ReachOptions {
             max_iterations,
+            // Incremental sessions are the default; --no-incremental is
+            // the rebuild-per-iteration escape hatch. Results are
+            // bit-identical either way.
+            incremental: !has_flag(args, "--no-incremental"),
             ..ReachOptions::default()
         },
     );
     if has_flag(args, "--stats") {
-        println!("{}", Stats::from_preimage(engine.name(), &report.stats).to_json());
+        println!(
+            "{}",
+            Stats::from_preimage(engine.name(), &report.stats).to_json()
+        );
     }
     println!(
         "{}: {} iterations, {} backward-reachable states, converged={}",

@@ -1,0 +1,279 @@
+//! Bit-compatibility suite for incremental preimage sessions.
+//!
+//! The contract under test: `backward_reach` with `incremental: true` (one
+//! persistent solver session across the whole fixed point) produces a
+//! [`ReachReport`] *identical* to the rebuild-per-iteration path — the same
+//! reached cube set in the same order, the same per-iteration rows
+//! (frontier cubes, new states, cumulative states), the same convergence
+//! verdict — on every generator circuit and the embedded benchmarks, at
+//! both 1 and 4 worker threads. Timing and work counters may differ (that
+//! is the point of the optimisation); results may not.
+
+use presat::circuit::{embedded, generators, Circuit};
+use presat::preimage::{backward_reach, oracle, ReachOptions, ReachReport, SatPreimage, StateSet};
+
+/// Whether the suite-wide oracle test runs the incremental or the rebuild
+/// path, from `PRESAT_TEST_INCREMENTAL` (default on; `0` = rebuild).
+/// `scripts/verify.sh` runs the suite in both modes.
+fn env_incremental() -> bool {
+    std::env::var("PRESAT_TEST_INCREMENTAL")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
+fn reach(circuit: &Circuit, target: &StateSet, jobs: usize, incremental: bool) -> ReachReport {
+    backward_reach(
+        &SatPreimage::success_driven().with_jobs(jobs),
+        circuit,
+        target,
+        ReachOptions {
+            incremental,
+            ..ReachOptions::default()
+        },
+    )
+}
+
+/// Asserts that the incremental and rebuild reports agree on everything
+/// the report promises: reached set (exact cubes), cardinality, rows, and
+/// convergence.
+fn assert_reports_match(circuit: &Circuit, target: &StateSet) {
+    for jobs in [1usize, 4] {
+        let rebuild = reach(circuit, target, jobs, false);
+        let session = reach(circuit, target, jobs, true);
+        let label = format!("{} (target {target}, jobs {jobs})", circuit.name());
+        assert_eq!(session.converged, rebuild.converged, "converged: {label}");
+        assert_eq!(
+            session.reached_states, rebuild.reached_states,
+            "reached_states: {label}"
+        );
+        assert_eq!(
+            session.reached.cubes(),
+            rebuild.reached.cubes(),
+            "reached cube set: {label}"
+        );
+        assert_eq!(
+            session.iterations.len(),
+            rebuild.iterations.len(),
+            "iteration count: {label}"
+        );
+        for (s, r) in session.iterations.iter().zip(&rebuild.iterations) {
+            assert_eq!(s.iteration, r.iteration, "row order: {label}");
+            assert_eq!(
+                s.frontier_cubes, r.frontier_cubes,
+                "frontier cubes at iter {}: {label}",
+                s.iteration
+            );
+            assert_eq!(
+                s.new_states, r.new_states,
+                "new states at iter {}: {label}",
+                s.iteration
+            );
+            assert_eq!(
+                s.reached_states, r.reached_states,
+                "cumulative states at iter {}: {label}",
+                s.iteration
+            );
+        }
+    }
+}
+
+#[test]
+fn counters_match_rebuild() {
+    assert_reports_match(
+        &generators::counter(3, false),
+        &StateSet::from_state_bits(0, 3),
+    );
+    assert_reports_match(
+        &generators::counter(4, true),
+        &StateSet::from_state_bits(9, 4),
+    );
+}
+
+#[test]
+fn lfsr_matches_rebuild() {
+    assert_reports_match(&generators::lfsr(4), &StateSet::from_state_bits(1, 4));
+}
+
+#[test]
+fn shift_register_matches_rebuild() {
+    assert_reports_match(
+        &generators::shift_register(4),
+        &StateSet::from_partial(&[(3, true)]),
+    );
+}
+
+#[test]
+fn parity_matches_rebuild() {
+    assert_reports_match(
+        &generators::parity(3),
+        &StateSet::from_partial(&[(3, true)]),
+    );
+}
+
+#[test]
+fn arbiter_matches_rebuild() {
+    let c = generators::round_robin_arbiter(2);
+    assert_reports_match(&c, &StateSet::from_partial(&[(2, true)]));
+    assert_reports_match(&c, &StateSet::from_state_bits(0b0101, 4));
+}
+
+#[test]
+fn comparator_matches_rebuild() {
+    assert_reports_match(
+        &generators::comparator(3),
+        &StateSet::from_partial(&[(3, true)]),
+    );
+}
+
+#[test]
+fn random_dags_match_rebuild() {
+    for seed in 0..4 {
+        let c = generators::random_dag(3, 4, 25, seed);
+        assert_reports_match(&c, &StateSet::from_state_bits(seed % 16, 4));
+        assert_reports_match(&c, &StateSet::from_partial(&[(1, false)]));
+    }
+}
+
+#[test]
+fn embedded_benchmarks_match_rebuild() {
+    let s27 = embedded::s27().unwrap();
+    for bits in [0u64, 2, 5] {
+        assert_reports_match(&s27, &StateSet::from_state_bits(bits, 3));
+    }
+    let ctl2 = embedded::ctl2().unwrap();
+    let n = ctl2.num_latches();
+    assert_reports_match(&ctl2, &StateSet::from_state_bits(0, n));
+    assert_reports_match(&ctl2, &StateSet::from_partial(&[(0, true)]));
+}
+
+#[test]
+fn multi_cube_targets_match_rebuild() {
+    // Multi-cube targets exercise the selector-per-cube activation groups.
+    let c = generators::counter(4, false);
+    let t = StateSet::from_state_bits(3, 4).union(&StateSet::from_state_bits(12, 4));
+    assert_reports_match(&c, &t);
+}
+
+#[test]
+fn empty_target_matches_rebuild() {
+    assert_reports_match(&generators::counter(3, false), &StateSet::empty());
+}
+
+#[test]
+fn iteration_cap_matches_rebuild() {
+    let c = generators::counter(4, false);
+    let t = StateSet::from_state_bits(0, 4);
+    for jobs in [1usize, 4] {
+        let rebuild = backward_reach(
+            &SatPreimage::success_driven().with_jobs(jobs),
+            &c,
+            &t,
+            ReachOptions {
+                max_iterations: Some(3),
+                incremental: false,
+                ..ReachOptions::default()
+            },
+        );
+        let session = backward_reach(
+            &SatPreimage::success_driven().with_jobs(jobs),
+            &c,
+            &t,
+            ReachOptions {
+                max_iterations: Some(3),
+                incremental: true,
+                ..ReachOptions::default()
+            },
+        );
+        assert!(!session.converged);
+        assert_eq!(session.reached.cubes(), rebuild.reached.cubes());
+        assert_eq!(session.reached_states, rebuild.reached_states);
+    }
+}
+
+#[test]
+fn simplified_frontiers_match_rebuild() {
+    let c = generators::round_robin_arbiter(2);
+    let t = StateSet::from_partial(&[(2, true)]);
+    for jobs in [1usize, 4] {
+        let rebuild = backward_reach(
+            &SatPreimage::success_driven().with_jobs(jobs),
+            &c,
+            &t,
+            ReachOptions {
+                simplify_frontier: true,
+                incremental: false,
+                ..ReachOptions::default()
+            },
+        );
+        let session = backward_reach(
+            &SatPreimage::success_driven().with_jobs(jobs),
+            &c,
+            &t,
+            ReachOptions {
+                simplify_frontier: true,
+                incremental: true,
+                ..ReachOptions::default()
+            },
+        );
+        assert_eq!(session.reached.cubes(), rebuild.reached.cubes());
+        assert_eq!(session.iterations.len(), rebuild.iterations.len());
+    }
+}
+
+#[test]
+fn incremental_sessions_report_reuse_counters() {
+    // counter(3) reaching 0 runs 8 iterations: 7 of them reuse the session
+    // encoding and each allocates exactly one activation literal.
+    let report = reach(
+        &generators::counter(3, false),
+        &StateSet::from_state_bits(0, 3),
+        1,
+        true,
+    );
+    assert_eq!(report.stats.iterations, 8);
+    assert_eq!(report.stats.activation_lits, 8);
+    assert_eq!(report.stats.encodings_reused, 7);
+    // The rebuild path never reports session counters.
+    let rebuild = reach(
+        &generators::counter(3, false),
+        &StateSet::from_state_bits(0, 3),
+        1,
+        false,
+    );
+    assert_eq!(rebuild.stats.activation_lits, 0);
+    assert_eq!(rebuild.stats.encodings_reused, 0);
+}
+
+/// Suite-wide oracle check honouring `PRESAT_TEST_INCREMENTAL`, so
+/// `scripts/verify.sh` exercises the ground-truth comparison in both
+/// modes.
+#[test]
+fn env_selected_mode_agrees_with_oracle() {
+    let incremental = env_incremental();
+    for (circuit, target) in [
+        (
+            generators::counter(3, false),
+            StateSet::from_state_bits(5, 3),
+        ),
+        (generators::lfsr(4), StateSet::from_state_bits(1, 4)),
+        (
+            generators::round_robin_arbiter(2),
+            StateSet::from_partial(&[(2, true)]),
+        ),
+        (generators::parity(3), StateSet::from_partial(&[(3, true)])),
+    ] {
+        let n = circuit.num_latches();
+        let expect = oracle::backward_reachable_bits(&circuit, &target);
+        let report = reach(&circuit, &target, 1, incremental);
+        assert!(report.converged);
+        assert_eq!(
+            report.reached_states,
+            expect.len() as u128,
+            "{} (incremental={incremental})",
+            circuit.name()
+        );
+        for &b in &expect {
+            assert!(report.reached.contains_bits(b, n));
+        }
+    }
+}
