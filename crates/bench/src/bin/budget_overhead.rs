@@ -1,0 +1,98 @@
+//! Budget-polling overhead probe (table R7 of `EXPERIMENTS.md`): wall-clock
+//! of the success-driven preimage workloads with no limits installed vs. a
+//! *generous, never-tripping* budget (conflict cap, far deadline, and a
+//! live cancel token). The gap between the two is the whole price of the
+//! anytime machinery — the per-conflict budget checks and the atomic
+//! cancellation poll in the CDCL loop. Written as `BENCH_PR4.json`:
+//!
+//! ```text
+//! cargo run --release -p presat-bench --bin budget_overhead [out.json]
+//! ```
+//!
+//! Every case first asserts that the budgeted run returns exactly the
+//! unbudgeted result (same cubes, flagged complete): a never-tripping
+//! limit must be behaviourally invisible, so the numbers compare equal
+//! work.
+
+use std::time::Duration;
+
+use presat_allsat::{Budget, CancelToken, EnumLimits};
+use presat_bench::harness::{fmt_duration, measure};
+use presat_bench::workloads::suite;
+use presat_obs::json::JsonObject;
+use presat_preimage::{PreimageEngine, SatPreimage};
+
+fn samples() -> usize {
+    std::env::var("PRESAT_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let samples = samples();
+    let engine = SatPreimage::success_driven();
+    // Never trips: ~half of u64 conflicts, a deadline hours away, and a
+    // token nobody cancels — but every poll site stays live.
+    let token = CancelToken::new();
+    let limits = EnumLimits::none()
+        .with_budget(
+            Budget::unlimited()
+                .with_conflicts(u64::MAX / 2)
+                .with_timeout(Duration::from_secs(3600)),
+        )
+        .with_cancel(token);
+
+    let mut out = JsonObject::new();
+    out.field_u64("samples", samples as u64);
+    for w in suite() {
+        let plain = engine.preimage(&w.circuit, &w.target);
+        let budgeted = engine.preimage_limited(
+            &w.circuit,
+            &w.target,
+            &limits,
+            &mut presat_obs::NullSink,
+        );
+        assert!(
+            budgeted.complete && budgeted.stop_reason.is_none(),
+            "{}: generous budget tripped",
+            w.label
+        );
+        assert_eq!(
+            budgeted.states.cubes(),
+            plain.states.cubes(),
+            "{}: budgeted run diverges from the unlimited one",
+            w.label
+        );
+
+        let base = measure(samples, || engine.preimage(&w.circuit, &w.target));
+        let polled = measure(samples, || {
+            engine.preimage_limited(&w.circuit, &w.target, &limits, &mut presat_obs::NullSink)
+        });
+        let base_ns = base.median.as_nanos() as u64;
+        let polled_ns = polled.median.as_nanos() as u64;
+        let overhead = if base_ns == 0 {
+            0.0
+        } else {
+            polled_ns as f64 / base_ns as f64
+        };
+        println!(
+            "{:<10} unlimited {:>10}  budgeted {:>10}  ratio {:.3}",
+            w.label,
+            fmt_duration(base.median),
+            fmt_duration(polled.median),
+            overhead
+        );
+        out.begin_object(&w.label);
+        out.field_u64("unlimited_ns", base_ns);
+        out.field_u64("budgeted_ns", polled_ns);
+        out.field_f64("overhead_ratio", (overhead * 1000.0).round() / 1000.0);
+        out.end_object();
+    }
+    let json = out.finish();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -1,10 +1,11 @@
 //! The classical blocking-clause all-SAT baseline.
 
 use presat_logic::CubeSet;
-use presat_obs::{Event, ObsSink};
+use presat_obs::{Event, ObsSink, StopReason};
 use presat_sat::{SolveResult, Solver};
 
 use crate::engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
+use crate::limits::EnumLimits;
 
 /// Naive all-solutions enumeration: solve, project the model onto the
 /// important variables, add a blocking clause over the *full* projected
@@ -41,14 +42,28 @@ impl AllSatEngine for BlockingAllSat {
         "blocking"
     }
 
-    fn enumerate_with_sink(&self, problem: &AllSatProblem, sink: &mut dyn ObsSink) -> AllSatResult {
+    fn enumerate_limited(
+        &self,
+        problem: &AllSatProblem,
+        limits: &EnumLimits,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult {
         let mut solver = Solver::from_cnf(&problem.cnf);
+        solver.set_budget(limits.budget);
+        solver.set_cancel(limits.cancel.clone());
         let mut stats = EnumerationStats::default();
         let mut cubes = CubeSet::new();
+        let mut stopped: Option<StopReason> = None;
         loop {
             stats.solver_calls += 1;
             match solver.solve() {
                 SolveResult::Unsat => break,
+                SolveResult::Unknown(reason) => {
+                    // Partial but sound: everything blocked so far is a
+                    // verified solution minterm; report it, never `Unsat`.
+                    stopped = Some(reason);
+                    break;
+                }
                 SolveResult::Sat(model) => {
                     let minterm = model.project(&problem.important);
                     stats.cubes_emitted += 1;
@@ -69,16 +84,29 @@ impl AllSatEngine for BlockingAllSat {
                         // the formula unsatisfiable at level 0.
                         break;
                     }
+                    if limits
+                        .max_solutions
+                        .is_some_and(|max| stats.cubes_emitted >= max)
+                    {
+                        stopped = Some(StopReason::MaxSolutions);
+                        break;
+                    }
                 }
             }
         }
         stats.sat = *solver.stats();
         stats.sat_conflicts = stats.sat.conflicts;
         stats.sat_decisions = stats.sat.decisions;
+        if let Some(reason) = stopped {
+            stats.budget_stops = 1;
+            sink.record(&Event::BudgetStop { reason });
+        }
         AllSatResult {
             cubes,
             graph: None,
             stats,
+            complete: stopped.is_none(),
+            stop_reason: stopped,
         }
     }
 }

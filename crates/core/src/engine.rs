@@ -1,8 +1,9 @@
 //! The common interface of all-solutions engines.
 
 use presat_logic::{Cnf, CubeSet, Var};
-use presat_obs::{NullSink, ObsSink};
+use presat_obs::{NullSink, ObsSink, StopReason};
 
+use crate::limits::EnumLimits;
 use crate::solution_graph::{SolutionGraph, SolutionNodeId};
 
 /// An all-SAT instance: a CNF formula plus the ordered list of *important*
@@ -56,6 +57,16 @@ pub use presat_obs::AllSatCounters as EnumerationStats;
 
 /// The outcome of an enumeration: the projected solution set as cubes, the
 /// solution graph when the engine builds one, and work counters.
+///
+/// # Anytime semantics
+///
+/// An enumeration running under [`EnumLimits`] may stop before it is
+/// exhaustive; the result is then *partial but sound*: `complete` is
+/// `false`, `stop_reason` says why, and `cubes` holds only verified
+/// solutions — a subset of what the uninterrupted run would return, with
+/// the graph engines' disjoint-cube guarantee intact (every cube is a
+/// distinct path of the decision DAG). A complete run always has
+/// `complete == true` and `stop_reason == None`.
 #[derive(Clone, Debug)]
 pub struct AllSatResult {
     /// The projection of the formula's models onto the important variables,
@@ -65,6 +76,11 @@ pub struct AllSatResult {
     pub graph: Option<(SolutionGraph, SolutionNodeId)>,
     /// Work counters.
     pub stats: EnumerationStats,
+    /// `false` if the run stopped early on a budget, deadline,
+    /// cancellation, or solution cap; `cubes` is then a partial result.
+    pub complete: bool,
+    /// Why the run stopped early; `None` on a complete run.
+    pub stop_reason: Option<StopReason>,
 }
 
 impl AllSatResult {
@@ -128,9 +144,24 @@ pub trait AllSatEngine {
     fn name(&self) -> &'static str;
 
     /// Enumerates the projection of `problem.cnf`'s models onto
-    /// `problem.important`, reporting enumeration-level events (solutions,
-    /// blocking clauses, cache hits) to `sink` as they happen.
-    fn enumerate_with_sink(&self, problem: &AllSatProblem, sink: &mut dyn ObsSink) -> AllSatResult;
+    /// `problem.important` under the given resource `limits`, reporting
+    /// enumeration-level events (solutions, blocking clauses, cache hits,
+    /// budget stops) to `sink` as they happen. With [`EnumLimits::none`]
+    /// this is exhaustive and bit-identical to
+    /// [`enumerate_with_sink`](AllSatEngine::enumerate_with_sink); with a
+    /// limit installed the run may return a partial result flagged
+    /// `complete = false` — never a spuriously empty "complete" set.
+    fn enumerate_limited(
+        &self,
+        problem: &AllSatProblem,
+        limits: &EnumLimits,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult;
+
+    /// Exhaustive enumeration with an event trace (no limits).
+    fn enumerate_with_sink(&self, problem: &AllSatProblem, sink: &mut dyn ObsSink) -> AllSatResult {
+        self.enumerate_limited(problem, &EnumLimits::none(), sink)
+    }
 
     /// [`AllSatEngine::enumerate_with_sink`] without an event trace.
     fn enumerate(&self, problem: &AllSatProblem) -> AllSatResult {

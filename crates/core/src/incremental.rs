@@ -41,10 +41,11 @@
 use std::collections::HashMap;
 
 use presat_logic::{Cnf, Lit, Var};
-use presat_obs::{Event, NullSink, ObsSink};
-use presat_sat::Solver;
+use presat_obs::{Event, NullSink, ObsSink, StopReason};
+use presat_sat::{Budget, Solver};
 
 use crate::engine::{AllSatResult, EnumerationStats};
+use crate::limits::EnumLimits;
 use crate::parallel::enumerate_partitioned;
 use crate::signature::{ConnectivityIndex, ResidualIndex};
 use crate::solution_graph::{SolutionGraph, SolutionNodeId};
@@ -195,27 +196,48 @@ impl IncrementalAllSat {
         assumptions: &[Lit],
         sink: &mut dyn ObsSink,
     ) -> AllSatResult {
+        self.enumerate_limited(assumptions, &EnumLimits::none(), sink)
+    }
+
+    /// [`enumerate_with_sink`](IncrementalAllSat::enumerate_with_sink)
+    /// under resource `limits`, which apply to **this call only** — the
+    /// installed budget/cancel are removed from the persistent solver
+    /// before returning, so a later unlimited call runs unlimited.
+    ///
+    /// A stopped call returns a partial result flagged `complete = false`;
+    /// the session stays fully usable, and nothing the truncated run
+    /// explored is allowed to poison the persistent signature cache (only
+    /// exhaustively enumerated subspaces are ever cached).
+    pub fn enumerate_limited(
+        &mut self,
+        assumptions: &[Lit],
+        limits: &EnumLimits,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult {
         let k = self.important.len();
         let jobs = self.effective_jobs();
         let mut stats;
         let root;
+        let stop: Option<StopReason>;
         if jobs > 1 && k > 0 {
             // Partitioned: workers clone the persistent solver at the root
             // (inheriting its learnt clauses and phases) and merge into the
             // persistent graph. Per-worker learnts die with the workers —
             // learnt *carrying* is the sequential path's job.
-            let (r, s) = enumerate_partitioned(
+            let (r, s, st) = enumerate_partitioned(
                 self.config,
                 jobs,
                 &self.cnf,
                 &self.important,
                 &self.solver,
                 assumptions,
+                limits,
                 &mut self.graph,
                 sink,
             );
             root = r;
             stats = s;
+            stop = st;
         } else {
             match self.config.signature {
                 // Static connectivity is not stable under formula growth:
@@ -231,6 +253,8 @@ impl IncrementalAllSat {
             let conn = (self.config.signature == SignatureMode::Static)
                 .then(|| ConnectivityIndex::build(&self.cnf, &self.important));
             self.solver.reset_stats();
+            self.solver.set_budget(limits.budget);
+            self.solver.set_cancel(limits.cancel.clone());
             let mut search = Search {
                 cnf: &self.cnf,
                 important: &self.important,
@@ -244,11 +268,15 @@ impl IncrementalAllSat {
                 prefix_vals: Vec::with_capacity(k),
                 model_guidance: self.config.model_guidance,
                 sink,
+                max_solutions: limits.max_solutions,
+                solutions_found: 0,
+                stopped: None,
             };
             root = search.explore(0, None);
             search.stats.sat = *search.solver.stats();
             search.stats.sat_conflicts = search.stats.sat.conflicts;
             search.stats.sat_decisions = search.stats.sat.decisions;
+            stop = search.stopped;
             let Search {
                 solver,
                 residual,
@@ -262,6 +290,14 @@ impl IncrementalAllSat {
             self.graph = graph;
             self.cache = cache;
             stats = s;
+            // This call's limits must not outlive it: the persistent
+            // solver returns to unlimited, un-cancellable operation.
+            self.solver.set_budget(Budget::unlimited());
+            self.solver.set_cancel(None);
+            if let Some(reason) = stop {
+                stats.budget_stops = 1;
+                sink.record(&Event::BudgetStop { reason });
+            }
         }
         stats.graph_nodes = self.graph.reachable_count(root) as u64;
         let cubes = self.graph.to_cube_set(root, &self.important);
@@ -275,6 +311,8 @@ impl IncrementalAllSat {
             cubes,
             graph: None,
             stats,
+            complete: stop.is_none(),
+            stop_reason: stop,
         }
     }
 

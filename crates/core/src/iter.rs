@@ -9,10 +9,12 @@
 //! remaining work.
 
 use presat_logic::{Cube, Var};
+use presat_obs::StopReason;
 use presat_sat::{SolveResult, Solver};
 
 use crate::engine::AllSatProblem;
 use crate::lift::lift_cube;
+use crate::limits::EnumLimits;
 
 /// A lazy all-solutions iterator (minimized-blocking strategy).
 ///
@@ -41,23 +43,44 @@ pub struct CubeIter {
     cnf: presat_logic::Cnf,
     important: Vec<Var>,
     exhausted: bool,
+    stopped: Option<StopReason>,
 }
 
 impl CubeIter {
     /// Creates the iterator; no solving happens until the first `next()`.
     pub fn new(problem: &AllSatProblem) -> Self {
+        Self::with_limits(problem, &EnumLimits::none())
+    }
+
+    /// Creates the iterator with a budget/cancellation installed on the
+    /// underlying solver (`limits.max_solutions` is ignored — cap a lazy
+    /// iterator with [`Iterator::take`]). When a limit trips, iteration
+    /// ends with [`is_exhausted`](CubeIter::is_exhausted) still `false`
+    /// and [`stop_reason`](CubeIter::stop_reason) set: the cubes already
+    /// yielded are verified solutions, not the whole projection.
+    pub fn with_limits(problem: &AllSatProblem, limits: &EnumLimits) -> Self {
+        let mut solver = Solver::from_cnf(&problem.cnf);
+        solver.set_budget(limits.budget);
+        solver.set_cancel(limits.cancel.clone());
         CubeIter {
-            solver: Solver::from_cnf(&problem.cnf),
+            solver,
             cnf: problem.cnf.clone(),
             important: problem.important.clone(),
             exhausted: false,
+            stopped: None,
         }
     }
 
     /// `true` once the underlying formula has been proven exhausted (only
-    /// meaningful after `next()` returned `None`).
+    /// meaningful after `next()` returned `None`). A budget-stopped
+    /// iterator returns `None` with `is_exhausted() == false`.
     pub fn is_exhausted(&self) -> bool {
         self.exhausted
+    }
+
+    /// Why iteration stopped early, if it did.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stopped
     }
 }
 
@@ -65,12 +88,18 @@ impl Iterator for CubeIter {
     type Item = Cube;
 
     fn next(&mut self) -> Option<Cube> {
-        if self.exhausted {
+        if self.exhausted || self.stopped.is_some() {
             return None;
         }
         match self.solver.solve() {
             SolveResult::Unsat => {
                 self.exhausted = true;
+                None
+            }
+            SolveResult::Unknown(reason) => {
+                // Out of budget, not out of solutions: do NOT claim
+                // exhaustion.
+                self.stopped = Some(reason);
                 None
             }
             SolveResult::Sat(model) => {

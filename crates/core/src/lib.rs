@@ -53,6 +53,7 @@ mod engine;
 mod incremental;
 mod iter;
 mod lift;
+mod limits;
 mod min_blocking;
 mod ordering;
 mod parallel;
@@ -65,9 +66,14 @@ pub use engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
 pub use incremental::IncrementalAllSat;
 pub use iter::CubeIter;
 pub use lift::lift_cube;
+pub use limits::EnumLimits;
 pub use min_blocking::MinimizedBlockingAllSat;
 pub use ordering::{order_important, BranchOrder};
 pub use parallel::{enumerate_detailed, ParallelAllSat};
 pub use signature::{ConnectivityIndex, ResidualIndex};
 pub use solution_graph::{SolutionGraph, SolutionNodeId};
 pub use success_driven::{SignatureMode, SuccessDrivenAllSat};
+
+// Re-export the limit/cancellation vocabulary so downstream crates can
+// build an `EnumLimits` without depending on `presat-sat` directly.
+pub use presat_sat::{Budget, CancelToken, StopReason};

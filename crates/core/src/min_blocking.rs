@@ -1,11 +1,12 @@
 //! Blocking-clause enumeration with cube minimization (literal lifting).
 
 use presat_logic::CubeSet;
-use presat_obs::{Event, ObsSink};
+use presat_obs::{Event, ObsSink, StopReason};
 use presat_sat::{SolveResult, Solver};
 
 use crate::engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
 use crate::lift::lift_cube;
+use crate::limits::EnumLimits;
 
 /// All-solutions enumeration with *lifted* blocking clauses: each model's
 /// projected cube is first enlarged by dropping irrelevant literals
@@ -47,14 +48,27 @@ impl AllSatEngine for MinimizedBlockingAllSat {
         "min-blocking"
     }
 
-    fn enumerate_with_sink(&self, problem: &AllSatProblem, sink: &mut dyn ObsSink) -> AllSatResult {
+    fn enumerate_limited(
+        &self,
+        problem: &AllSatProblem,
+        limits: &EnumLimits,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult {
         let mut solver = Solver::from_cnf(&problem.cnf);
+        solver.set_budget(limits.budget);
+        solver.set_cancel(limits.cancel.clone());
         let mut stats = EnumerationStats::default();
         let mut cubes = CubeSet::new();
+        let mut stopped: Option<StopReason> = None;
         loop {
             stats.solver_calls += 1;
             match solver.solve() {
                 SolveResult::Unsat => break,
+                SolveResult::Unknown(reason) => {
+                    // Everything blocked so far is verified; stop honestly.
+                    stopped = Some(reason);
+                    break;
+                }
                 SolveResult::Sat(model) => {
                     let minterm_len = problem.important.len() as u64;
                     let cube = lift_cube(&problem.cnf, &model, &problem.important);
@@ -73,16 +87,31 @@ impl AllSatEngine for MinimizedBlockingAllSat {
                     if !blocked {
                         break;
                     }
+                    // Lifted cubes can cover many minterms; counting cubes
+                    // (not minterms) keeps the cap a cheap lower bound.
+                    if limits
+                        .max_solutions
+                        .is_some_and(|max| stats.cubes_emitted >= max)
+                    {
+                        stopped = Some(StopReason::MaxSolutions);
+                        break;
+                    }
                 }
             }
         }
         stats.sat = *solver.stats();
         stats.sat_conflicts = stats.sat.conflicts;
         stats.sat_decisions = stats.sat.decisions;
+        if let Some(reason) = stopped {
+            stats.budget_stops = 1;
+            sink.record(&Event::BudgetStop { reason });
+        }
         AllSatResult {
             cubes,
             graph: None,
             stats,
+            complete: stopped.is_none(),
+            stop_reason: stopped,
         }
     }
 }

@@ -29,13 +29,14 @@
 //! less work — but solutions, cubes, and graph shape never do.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use presat_logic::{Cnf, Lit, Var};
-use presat_obs::{Event, ObsSink, VecSink};
-use presat_sat::Solver;
+use presat_obs::{Event, ObsSink, StopReason, VecSink};
+use presat_sat::{CancelToken, Solver};
 
 use crate::engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
+use crate::limits::{first_reason, EnumLimits};
 use crate::signature::{ConnectivityIndex, ResidualIndex};
 use crate::solution_graph::{SolutionGraph, SolutionNodeId};
 use crate::success_driven::{Search, SignatureMode, SuccessDrivenAllSat};
@@ -140,6 +141,11 @@ struct CubeOutcome {
     root: SolutionNodeId,
     stats: EnumerationStats,
     events: Vec<Event>,
+    /// The cube's own early-stop reason, if its enumeration was cut short.
+    stopped: Option<StopReason>,
+    /// `true` if the cube was drained unexplored after a global stop
+    /// (reported as `BOTTOM` so the merge still accounts every cube).
+    cancelled: bool,
 }
 
 impl AllSatEngine for ParallelAllSat {
@@ -147,24 +153,30 @@ impl AllSatEngine for ParallelAllSat {
         "success-driven-parallel"
     }
 
-    fn enumerate_with_sink(&self, problem: &AllSatProblem, sink: &mut dyn ObsSink) -> AllSatResult {
+    fn enumerate_limited(
+        &self,
+        problem: &AllSatProblem,
+        limits: &EnumLimits,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult {
         let jobs = self.effective_jobs();
         let k = problem.important.len();
         if jobs <= 1 || k == 0 {
-            return self.inner.enumerate_with_sink(problem, sink);
+            return self.inner.enumerate_limited(problem, limits, sink);
         }
 
         // One warm template: parsing/watcher setup happens once, workers
         // clone it at the root.
         let template = Solver::from_cnf(&problem.cnf);
         let mut master = SolutionGraph::new(k);
-        let (root, mut stats) = enumerate_partitioned(
+        let (root, mut stats, stop) = enumerate_partitioned(
             self.inner,
             jobs,
             &problem.cnf,
             &problem.important,
             &template,
             &[],
+            limits,
             &mut master,
             sink,
         );
@@ -183,6 +195,8 @@ impl AllSatEngine for ParallelAllSat {
             cubes,
             graph: Some((master, root)),
             stats,
+            complete: stop.is_none(),
+            stop_reason: stop,
         }
     }
 }
@@ -201,6 +215,16 @@ impl AllSatEngine for ParallelAllSat {
 /// (`crate::IncrementalAllSat`: persistent template solver and master
 /// graph, the iteration's activation literal as `base`). Requires
 /// `jobs >= 2` and a non-empty `important` set.
+///
+/// # Anytime behavior under `limits`
+///
+/// Counter budgets (conflicts/propagations) apply **per worker**; the
+/// wall-clock deadline is absolute and therefore shared; the external
+/// cancel token is installed in every worker's solver. The first worker to
+/// stop fires an internal all-workers token; remaining queue cubes are
+/// drained as unexplored-`BOTTOM` outcomes (counted in `cancelled_cubes`)
+/// so the merge still accounts every partition cube in cube-index order.
+/// The returned stop reason is the first stopped cube's, in cube order.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn enumerate_partitioned(
     config: SuccessDrivenAllSat,
@@ -209,24 +233,42 @@ pub(crate) fn enumerate_partitioned(
     important: &[Var],
     template: &Solver,
     base: &[Lit],
+    limits: &EnumLimits,
     master: &mut SolutionGraph,
     sink: &mut dyn ObsSink,
-) -> (SolutionNodeId, EnumerationStats) {
+) -> (SolutionNodeId, EnumerationStats, Option<StopReason>) {
     let k = important.len();
     debug_assert!(jobs >= 2 && k > 0);
     let kp = prefix_len(jobs, k);
     let num_cubes = 1usize << kp;
     let workers = jobs.min(num_cubes);
     let next_cube = AtomicUsize::new(0);
+    // Internal stop-the-fleet token (distinct from the caller's): fired by
+    // the first worker that stops, checked by all between cubes.
+    let stop_all = CancelToken::new();
+    let solutions_total = AtomicU64::new(0);
 
     let mut worker_results: Vec<(SolutionGraph, Vec<CubeOutcome>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|worker_id| {
                 let template = &template;
                 let next_cube = &next_cube;
+                let stop_all = &stop_all;
+                let solutions_total = &solutions_total;
                 scope.spawn(move || {
                     run_worker(
-                        worker_id, config, cnf, important, template, base, next_cube, num_cubes, kp,
+                        worker_id,
+                        config,
+                        cnf,
+                        important,
+                        template,
+                        base,
+                        limits,
+                        next_cube,
+                        stop_all,
+                        solutions_total,
+                        num_cubes,
+                        kp,
                     )
                 })
             })
@@ -270,13 +312,31 @@ pub(crate) fn enumerate_partitioned(
     let root = layer[0];
     stats.sat_conflicts = stats.sat.conflicts;
     stats.sat_decisions = stats.sat.decisions;
-    (root, stats)
+    let stop = first_reason(outcomes.iter().map(|o| o.stopped)).or_else(|| {
+        // Only drained cubes and no recorded reason can happen when the
+        // caller's token fired between a worker's stop check and its first
+        // solver poll; the honest reason is the cancellation itself.
+        outcomes
+            .iter()
+            .any(|o| o.cancelled)
+            .then_some(StopReason::Cancelled)
+    });
+    if let Some(reason) = stop {
+        sink.record(&Event::BudgetStop { reason });
+    }
+    (root, stats, stop)
 }
 
 /// One worker: pulls cube indices from the shared counter until the queue
 /// is dry, enumerating each with persistent per-worker state (a solver
 /// clone, the signature indices, one solution graph, one signature cache)
 /// so later cubes benefit from everything earlier cubes learnt.
+///
+/// The worker carries its own remaining counter budget across cubes
+/// (`solver.reset_stats()` per cube makes per-call budgets, so the residue
+/// is re-installed each time); once the fleet-stop token fires, the rest of
+/// the queue is drained as unexplored-`BOTTOM` outcomes without touching
+/// the solver.
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     worker_id: usize,
@@ -285,12 +345,19 @@ fn run_worker(
     important: &[Var],
     template: &Solver,
     base: &[Lit],
+    limits: &EnumLimits,
     next_cube: &AtomicUsize,
+    stop_all: &CancelToken,
+    solutions_total: &AtomicU64,
     num_cubes: usize,
     kp: usize,
 ) -> (SolutionGraph, Vec<CubeOutcome>) {
     let k = important.len();
     let mut solver = template.clone_at_root();
+    solver.set_cancel(limits.cancel.clone());
+    // Per-worker residue of the counter budget; the deadline is an absolute
+    // instant, so copying it shares it.
+    let mut remaining = limits.budget;
     let mut conn = (config.signature == SignatureMode::Static)
         .then(|| ConnectivityIndex::build(cnf, important));
     let mut residual =
@@ -304,6 +371,23 @@ fn run_worker(
         if index >= num_cubes {
             break;
         }
+        if stop_all.is_cancelled() {
+            // Drain mode: keep the cube accounted for, do no work.
+            let stats = EnumerationStats {
+                cancelled_cubes: 1,
+                ..EnumerationStats::default()
+            };
+            outcomes.push(CubeOutcome {
+                index,
+                worker: worker_id,
+                root: SolutionNodeId::BOTTOM,
+                stats,
+                events: Vec::new(),
+                stopped: None,
+                cancelled: true,
+            });
+            continue;
+        }
         // `base` (e.g. a session activation literal) rides ahead of the
         // cube prefix in `prefix_lits`; `prefix_vals` stays branching-only.
         let mut prefix_lits: Vec<Lit> = base.to_vec();
@@ -314,6 +398,11 @@ fn run_worker(
             prefix_vals.push(phase);
         }
         solver.reset_stats();
+        solver.set_budget(remaining);
+        let found_before = limits
+            .max_solutions
+            .map(|_| solutions_total.load(Ordering::Relaxed))
+            .unwrap_or(0);
         let mut events = VecSink::new();
         let mut search = Search {
             cnf,
@@ -328,21 +417,42 @@ fn run_worker(
             prefix_vals,
             model_guidance: config.model_guidance,
             sink: &mut events,
+            max_solutions: limits.max_solutions,
+            solutions_found: found_before,
+            stopped: None,
         };
         let root = search.explore(kp, None);
         search.stats.sat = *search.solver.stats();
+        if limits.max_solutions.is_some() {
+            let delta = search.solutions_found.saturating_sub(found_before);
+            solutions_total.fetch_add(delta, Ordering::Relaxed);
+        }
+        if let Some(c) = remaining.conflicts.as_mut() {
+            *c = c.saturating_sub(search.stats.sat.conflicts);
+        }
+        if let Some(p) = remaining.propagations.as_mut() {
+            *p = p.saturating_sub(search.stats.sat.propagations);
+        }
+        let stopped = search.stopped;
+        if stopped.is_some() {
+            search.stats.budget_stops = 1;
+            stop_all.cancel();
+        }
         // Hand the persistent pieces back for the next cube.
         solver = search.solver;
         conn = search.conn;
         residual = search.residual;
         graph = search.graph;
         cache = search.cache;
+        let stats = search.stats;
         outcomes.push(CubeOutcome {
             index,
             worker: worker_id,
             root,
-            stats: search.stats,
+            stats,
             events: events.events,
+            stopped,
+            cancelled: false,
         });
     }
     (graph, outcomes)

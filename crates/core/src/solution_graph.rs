@@ -147,8 +147,17 @@ impl SolutionGraph {
     /// Exact number of important-variable minterms represented by `root`
     /// (over all `num_levels` positions).
     pub fn minterm_count(&self, root: SolutionNodeId) -> u128 {
+        self.minterm_count_from(root, 0)
+    }
+
+    /// Exact number of minterms represented by `root` counted over the
+    /// suffix positions `from..num_levels` only. `root` must sit at level
+    /// `>= from` (every node created at depth `from` does). The enumeration
+    /// search uses this to account reused subgraphs against a
+    /// solution-count cap without re-walking them.
+    pub fn minterm_count_from(&self, root: SolutionNodeId, from: u32) -> u128 {
         let mut memo: HashMap<SolutionNodeId, u128> = HashMap::new();
-        self.count_rec(root, 0, &mut memo)
+        self.count_rec(root, from, &mut memo)
     }
 
     fn count_rec(

@@ -3,10 +3,11 @@
 use std::collections::HashMap;
 
 use presat_logic::{Assignment, Cnf, Lit, Var};
-use presat_obs::{Event, ObsSink};
+use presat_obs::{Event, ObsSink, StopReason};
 use presat_sat::{SolveResult, Solver};
 
 use crate::engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
+use crate::limits::EnumLimits;
 use crate::signature::{ConnectivityIndex, ResidualIndex, ResidualSignature};
 use crate::solution_graph::{SolutionGraph, SolutionNodeId};
 
@@ -151,6 +152,17 @@ pub(crate) struct Search<'p> {
     pub(crate) prefix_vals: Vec<bool>,
     pub(crate) model_guidance: bool,
     pub(crate) sink: &'p mut dyn ObsSink,
+    /// Solution-count cap ([`EnumLimits::max_solutions`]); solutions are
+    /// only counted when it is set.
+    pub(crate) max_solutions: Option<u64>,
+    /// Minterms enumerated so far (tracked only under `max_solutions`).
+    pub(crate) solutions_found: u64,
+    /// Sticky early-stop marker. Once set, [`Search::explore`] returns
+    /// `BOTTOM` for every still-unexplored subspace (the partial result
+    /// stays a disjoint subset of the full one) and stops inserting into
+    /// the signature cache (a truncated subgraph must never be reused as
+    /// the canonical answer for its signature).
+    pub(crate) stopped: Option<StopReason>,
 }
 
 impl Search<'_> {
@@ -183,6 +195,12 @@ impl Search<'_> {
     /// partial assignment of the first `depth` branching levels — the
     /// parallel engine seeds it with a partition cube.
     pub(crate) fn explore(&mut self, depth: usize, hint: Option<Assignment>) -> SolutionNodeId {
+        // Anytime unwinding: once stopped, every unexplored subspace
+        // reports empty — the accumulated result stays a disjoint subset
+        // of the exhaustive answer, flagged incomplete by the caller.
+        if self.stopped.is_some() {
+            return SolutionNodeId::BOTTOM;
+        }
         // A hint is a model consistent with the current prefix; without
         // one, ask the sub-solver whether the subspace is still live.
         let model = match hint {
@@ -191,12 +209,19 @@ impl Search<'_> {
                 self.stats.solver_calls += 1;
                 match self.solver.solve_with_assumptions(&self.prefix_lits) {
                     SolveResult::Unsat => return SolutionNodeId::BOTTOM,
+                    SolveResult::Unknown(reason) => {
+                        // Inconclusive is NOT empty-and-proven: mark the
+                        // stop and under-approximate this subspace.
+                        self.stopped = Some(reason);
+                        return SolutionNodeId::BOTTOM;
+                    }
                     SolveResult::Sat(m) => m,
                 }
             }
         };
         let k = self.important.len();
         if depth == k {
+            self.count_solutions(1);
             return SolutionNodeId::TOP;
         }
         let sig = match self.signature_at(depth) {
@@ -206,6 +231,12 @@ impl Search<'_> {
                     self.sink.record(&Event::CacheHit {
                         depth: depth as u32,
                     });
+                    if self.max_solutions.is_some() {
+                        // The reused subgraph is complete: its minterms all
+                        // enter the result in one step.
+                        let found = self.graph.minterm_count_from(node, depth as u32);
+                        self.count_solutions(u64::try_from(found).unwrap_or(u64::MAX));
+                    }
                     return node;
                 }
                 self.stats.cache_misses += 1;
@@ -246,9 +277,25 @@ impl Search<'_> {
         };
         let node = self.graph.mk(depth, lo, hi);
         if let Some(sig) = sig {
-            self.cache.insert(sig, node);
+            // A node finished after a stop may be truncated; caching it
+            // would let a later (possibly complete) run silently reuse an
+            // under-approximation. Only exhaustively explored subspaces
+            // enter the cache.
+            if self.stopped.is_none() {
+                self.cache.insert(sig, node);
+            }
         }
         node
+    }
+
+    /// Accounts `n` newly enumerated minterms against the solution cap.
+    fn count_solutions(&mut self, n: u64) {
+        if let Some(max) = self.max_solutions {
+            self.solutions_found = self.solutions_found.saturating_add(n);
+            if self.solutions_found >= max && self.stopped.is_none() {
+                self.stopped = Some(StopReason::MaxSolutions);
+            }
+        }
     }
 }
 
@@ -257,12 +304,20 @@ impl AllSatEngine for SuccessDrivenAllSat {
         "success-driven"
     }
 
-    fn enumerate_with_sink(&self, problem: &AllSatProblem, sink: &mut dyn ObsSink) -> AllSatResult {
+    fn enumerate_limited(
+        &self,
+        problem: &AllSatProblem,
+        limits: &EnumLimits,
+        sink: &mut dyn ObsSink,
+    ) -> AllSatResult {
         let k = problem.important.len();
+        let mut solver = Solver::from_cnf(&problem.cnf);
+        solver.set_budget(limits.budget);
+        solver.set_cancel(limits.cancel.clone());
         let mut search = Search {
             cnf: &problem.cnf,
             important: &problem.important,
-            solver: Solver::from_cnf(&problem.cnf),
+            solver,
             conn: (self.signature == SignatureMode::Static)
                 .then(|| ConnectivityIndex::build(&problem.cnf, &problem.important)),
             residual: (self.signature == SignatureMode::Dynamic)
@@ -274,6 +329,9 @@ impl AllSatEngine for SuccessDrivenAllSat {
             prefix_vals: Vec::with_capacity(k),
             model_guidance: self.model_guidance,
             sink,
+            max_solutions: limits.max_solutions,
+            solutions_found: 0,
+            stopped: None,
         };
         let root = search.explore(0, None);
         search.stats.graph_nodes = search.graph.reachable_count(root) as u64;
@@ -287,10 +345,16 @@ impl AllSatEngine for SuccessDrivenAllSat {
                 width: cube.len() as u32,
             });
         }
+        if let Some(reason) = search.stopped {
+            search.stats.budget_stops = 1;
+            search.sink.record(&Event::BudgetStop { reason });
+        }
         AllSatResult {
             cubes,
             graph: Some((search.graph, root)),
             stats: search.stats,
+            complete: search.stopped.is_none(),
+            stop_reason: search.stopped,
         }
     }
 }

@@ -90,6 +90,13 @@ pub struct AllSatCounters {
     pub sat_conflicts: u64,
     /// Decisions reported by the underlying CDCL solver.
     pub sat_decisions: u64,
+    /// Times an enumeration stopped early on a budget, deadline, or
+    /// cancellation (0 on a complete run).
+    pub budget_stops: u64,
+    /// Partition cubes abandoned without enumeration after a stop
+    /// (parallel engine only; they are reported as empty and the result is
+    /// flagged incomplete).
+    pub cancelled_cubes: u64,
     /// Full counter snapshot of the underlying CDCL solver.
     pub sat: SatCounters,
 }
@@ -108,6 +115,8 @@ impl AllSatCounters {
         self.graph_nodes = self.graph_nodes.max(other.graph_nodes);
         self.sat_conflicts += other.sat_conflicts;
         self.sat_decisions += other.sat_decisions;
+        self.budget_stops += other.budget_stops;
+        self.cancelled_cubes += other.cancelled_cubes;
         self.sat.absorb(&other.sat);
     }
 }

@@ -42,6 +42,13 @@ impl JsonObject {
         self
     }
 
+    /// Adds a boolean field (`true`/`false` literals).
+    pub fn field_bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
     /// Adds a floating-point field (finite values only; non-finite values
     /// are emitted as `null`, which JSON requires).
     pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
@@ -300,12 +307,16 @@ mod tests {
             .field_u64("x", 1)
             .field_f64("ratio", 0.5)
             .end_object()
-            .field_f64("nan", f64::NAN);
+            .field_f64("nan", f64::NAN)
+            .field_bool("complete", false)
+            .field_bool("ok", true);
         let text = o.finish();
         validate(&text).unwrap();
         assert!(text.contains("\"decisions\":42"));
         assert!(text.contains("\"nested\":{\"x\":1"));
         assert!(text.contains("\"nan\":null"));
+        assert!(text.contains("\"complete\":false"));
+        assert!(text.contains("\"ok\":true"));
     }
 
     #[test]

@@ -28,10 +28,12 @@ pub mod counters;
 pub mod csv;
 pub mod json;
 pub mod sink;
+pub mod stop;
 pub mod timer;
 
 pub use counters::{AllSatCounters, PreimageCounters, SatCounters};
 pub use sink::{Event, NullSink, ObsSink, VecSink};
+pub use stop::StopReason;
 pub use timer::{time, Timer};
 
 use json::JsonObject;
@@ -41,7 +43,7 @@ use json::JsonObject;
 ///
 /// Layers the run did not exercise stay at their zero defaults (e.g. the
 /// `sat` block of a BDD preimage run).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Stats {
     /// Engine name as reported by the engine (`"sat-success-driven"`, …).
     pub engine: String,
@@ -53,6 +55,25 @@ pub struct Stats {
     pub preimage: PreimageCounters,
     /// Wall-clock time of the whole run in nanoseconds.
     pub wall_time_ns: u64,
+    /// Whether the run finished exhaustively (`true`, the default) or was
+    /// stopped early by a budget, deadline, or cancellation (`false`).
+    pub complete: bool,
+    /// Why the run stopped early; `None` on a complete run.
+    pub stop_reason: Option<StopReason>,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Stats {
+            engine: String::new(),
+            sat: SatCounters::default(),
+            allsat: AllSatCounters::default(),
+            preimage: PreimageCounters::default(),
+            wall_time_ns: 0,
+            complete: true,
+            stop_reason: None,
+        }
+    }
 }
 
 impl Stats {
@@ -85,14 +106,27 @@ impl Stats {
             allsat: preimage.allsat,
             preimage: *preimage,
             wall_time_ns: preimage.wall_time_ns,
+            ..Stats::default()
         }
+    }
+
+    /// Marks the snapshot as a partial (anytime) result and records why it
+    /// stopped.
+    pub fn with_stop(mut self, complete: bool, stop_reason: Option<StopReason>) -> Self {
+        self.complete = complete;
+        self.stop_reason = stop_reason;
+        self
     }
 
     /// Emits the snapshot as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
         o.field_str("engine", &self.engine)
-            .field_u64("wall_time_ns", self.wall_time_ns);
+            .field_u64("wall_time_ns", self.wall_time_ns)
+            .field_bool("complete", self.complete);
+        if let Some(reason) = self.stop_reason {
+            o.field_str("stop_reason", reason.as_str());
+        }
         o.begin_object("sat")
             .field_u64("solves", self.sat.solves)
             .field_u64("decisions", self.sat.decisions)
@@ -113,6 +147,8 @@ impl Stats {
             .field_u64("cache_hits", self.allsat.cache_hits)
             .field_u64("cache_misses", self.allsat.cache_misses)
             .field_u64("graph_nodes", self.allsat.graph_nodes)
+            .field_u64("budget_stops", self.allsat.budget_stops)
+            .field_u64("cancelled_cubes", self.allsat.cancelled_cubes)
             .end_object();
         o.begin_object("preimage")
             .field_u64("result_cubes", self.preimage.result_cubes)
@@ -151,12 +187,15 @@ impl Stats {
             "allsat_cache_hits",
             "allsat_cache_misses",
             "allsat_graph_nodes",
+            "allsat_budget_stops",
+            "allsat_cancelled_cubes",
             "preimage_result_cubes",
             "preimage_iterations",
             "preimage_bdd_nodes",
             "preimage_encodings_reused",
             "preimage_learnts_carried",
             "preimage_activation_lits",
+            "complete",
         ])
     }
 
@@ -179,12 +218,15 @@ impl Stats {
             self.allsat.cache_hits,
             self.allsat.cache_misses,
             self.allsat.graph_nodes,
+            self.allsat.budget_stops,
+            self.allsat.cancelled_cubes,
             self.preimage.result_cubes,
             self.preimage.iterations,
             self.preimage.bdd_nodes,
             self.preimage.encodings_reused,
             self.preimage.learnts_carried,
             self.preimage.activation_lits,
+            u64::from(self.complete),
         ];
         let mut fields = vec![csv::escape_field(&self.engine)];
         fields.extend(nums.iter().map(u64::to_string));
@@ -241,6 +283,23 @@ mod tests {
         let s = Stats::from_sat("cdcl", &sat);
         assert_eq!(s.sat.solves, 1);
         assert_eq!(s.allsat, AllSatCounters::default());
+    }
+
+    #[test]
+    fn complete_defaults_true_and_stop_reason_serializes() {
+        let s = sample();
+        assert!(s.complete);
+        assert!(s.stop_reason.is_none());
+        let text = s.to_json();
+        assert!(text.contains("\"complete\":true"));
+        assert!(!text.contains("stop_reason"));
+
+        let s = sample().with_stop(false, Some(StopReason::Deadline));
+        let text = s.to_json();
+        json::validate(&text).unwrap();
+        assert!(text.contains("\"complete\":false"));
+        assert!(text.contains("\"stop_reason\":\"deadline\""));
+        assert!(s.to_csv_row().ends_with(",0"));
     }
 
     #[test]

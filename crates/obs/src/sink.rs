@@ -58,6 +58,12 @@ pub enum Event {
         /// Wall-clock time of the run in nanoseconds.
         wall_time_ns: u64,
     },
+    /// An engine stopped early because a budget, deadline, or cancellation
+    /// fired; the result it returned is partial (`complete = false`).
+    BudgetStop {
+        /// Why the engine stopped.
+        reason: crate::StopReason,
+    },
 }
 
 /// A receiver for engine [`Event`]s.

@@ -225,6 +225,8 @@ impl PreimageEngine for BddPreimage {
             },
             states,
             elapsed: timer.elapsed(),
+            complete: true,
+            stop_reason: None,
         }
     }
 }

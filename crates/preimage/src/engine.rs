@@ -2,8 +2,9 @@
 
 use std::time::Duration;
 
+use presat_allsat::EnumLimits;
 use presat_circuit::Circuit;
-use presat_obs::{NullSink, ObsSink};
+use presat_obs::{NullSink, ObsSink, StopReason};
 
 use crate::state_set::StateSet;
 
@@ -18,6 +19,10 @@ use crate::state_set::StateSet;
 pub use presat_obs::PreimageCounters as PreimageStats;
 
 /// The outcome of one preimage computation.
+///
+/// When the computation ran under [`EnumLimits`] and stopped early,
+/// `complete` is `false` and `states` is a *partial but sound* result:
+/// every state in it is a verified preimage member, but more may exist.
 #[derive(Clone, Debug)]
 pub struct PreimageResult {
     /// The preimage as cubes over latch positions.
@@ -26,6 +31,11 @@ pub struct PreimageResult {
     pub stats: PreimageStats,
     /// Wall-clock time of the computation.
     pub elapsed: Duration,
+    /// `false` if a budget, deadline, or cancellation cut the enumeration
+    /// short; `states` is then an under-approximation of the preimage.
+    pub complete: bool,
+    /// Why the computation stopped early; `None` on a complete run.
+    pub stop_reason: Option<StopReason>,
 }
 
 /// A one-step preimage engine.
@@ -46,6 +56,25 @@ pub trait PreimageEngine {
     /// [`PreimageEngine::preimage_with_sink`] without an event trace.
     fn preimage(&self, circuit: &Circuit, target: &StateSet) -> PreimageResult {
         self.preimage_with_sink(circuit, target, &mut NullSink)
+    }
+
+    /// Computes `Pre(target)` under resource `limits`; a stopped run
+    /// returns the verified partial preimage flagged `complete = false`.
+    ///
+    /// The default ignores the limits and runs to completion — correct for
+    /// engines with no anytime mode (the BDD engine): a complete answer
+    /// satisfies every limit's contract except promptness, and the
+    /// reachability loop enforces deadlines/cancellation between its
+    /// iterations regardless of engine.
+    fn preimage_limited(
+        &self,
+        circuit: &Circuit,
+        target: &StateSet,
+        limits: &EnumLimits,
+        sink: &mut dyn ObsSink,
+    ) -> PreimageResult {
+        let _ = limits;
+        self.preimage_with_sink(circuit, target, sink)
     }
 
     /// Opens a persistent *session* over `circuit` for iterated preimage
@@ -77,6 +106,20 @@ pub trait PreimageSession {
     /// Computes `Pre(target)` minus every state blocked so far, reporting
     /// enumeration-level events to `sink`.
     fn preimage_with_sink(&mut self, target: &StateSet, sink: &mut dyn ObsSink) -> PreimageResult;
+
+    /// [`preimage_with_sink`](PreimageSession::preimage_with_sink) under
+    /// resource `limits`; the default ignores them (see
+    /// [`PreimageEngine::preimage_limited`]). The session must stay usable
+    /// after a stopped call.
+    fn preimage_limited(
+        &mut self,
+        target: &StateSet,
+        limits: &EnumLimits,
+        sink: &mut dyn ObsSink,
+    ) -> PreimageResult {
+        let _ = limits;
+        self.preimage_with_sink(target, sink)
+    }
 
     /// Permanently excludes `states` from all future results (adds one
     /// blocking clause per cube to the persistent solver).

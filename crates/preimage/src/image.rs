@@ -54,6 +54,8 @@ pub fn sat_image(circuit: &Circuit, source: &StateSet) -> PreimageResult {
         },
         states,
         elapsed,
+        complete: true,
+        stop_reason: None,
     }
 }
 
@@ -109,6 +111,8 @@ pub fn bdd_image(circuit: &Circuit, source: &StateSet) -> PreimageResult {
         },
         states,
         elapsed: start.elapsed(),
+        complete: true,
+        stop_reason: None,
     }
 }
 

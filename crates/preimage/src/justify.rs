@@ -132,6 +132,7 @@ pub fn justify(
                 // through to the next (smaller) ring.
                 continue;
             }
+            SolveResult::Unknown(_) => unreachable!("unbudgeted solver cannot stop early"),
         };
         let inputs: u64 = enc
             .input_vars()

@@ -84,6 +84,8 @@ pub fn excitation_set(circuit: &Circuit, output_index: usize, value: bool) -> Pr
         },
         states,
         elapsed,
+        complete: true,
+        stop_reason: None,
     }
 }
 

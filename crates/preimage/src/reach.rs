@@ -2,16 +2,16 @@
 
 use std::time::{Duration, Instant};
 
-use presat_allsat::{SolutionGraph, SolutionNodeId};
+use presat_allsat::{Budget, CancelToken, EnumLimits, SolutionGraph, SolutionNodeId};
 use presat_circuit::Circuit;
 use presat_logic::Var;
-use presat_obs::{Event, NullSink, ObsSink, Timer};
+use presat_obs::{Event, NullSink, ObsSink, StopReason, Timer};
 
 use crate::engine::{PreimageEngine, PreimageStats};
 use crate::state_set::StateSet;
 
 /// Options for the reachability loop.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ReachOptions {
     /// Stop after this many iterations even if not converged
     /// (`None` = run to the fixed point).
@@ -28,6 +28,16 @@ pub struct ReachOptions {
     /// solver so they are never re-derived. Bit-identical results either
     /// way; engines without sessions silently use the per-call path.
     pub incremental: bool,
+    /// Resource budget for each individual preimage call (counter limits
+    /// reset every iteration; a deadline here is absolute and so in
+    /// practice belongs in `total_budget`).
+    pub step_budget: Budget,
+    /// Resource budget for the whole fixed point: counter limits are spent
+    /// down across iterations, the deadline bounds the loop's wall clock.
+    pub total_budget: Budget,
+    /// Cooperative cancellation: polled by the running engine (SAT kinds)
+    /// and between iterations (every engine).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ReachOptions {
@@ -36,7 +46,30 @@ impl Default for ReachOptions {
             max_iterations: None,
             simplify_frontier: false,
             incremental: true,
+            step_budget: Budget::unlimited(),
+            total_budget: Budget::unlimited(),
+            cancel: None,
         }
+    }
+}
+
+impl ReachOptions {
+    /// Sets the whole-loop budget.
+    pub fn with_total_budget(mut self, budget: Budget) -> Self {
+        self.total_budget = budget;
+        self
+    }
+
+    /// Sets the per-preimage-call budget.
+    pub fn with_step_budget(mut self, budget: Budget) -> Self {
+        self.step_budget = budget;
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 }
 
@@ -56,6 +89,17 @@ pub struct ReachIteration {
 }
 
 /// The result of a backward-reachability run.
+///
+/// # Anytime semantics
+///
+/// When a budget, deadline, or cancellation interrupts the loop,
+/// `complete` is `false`, `stop_reason` says why, and `reached` is the
+/// deepest **verified** frontier closure computed so far: every state in it
+/// provably reaches the target, including any partial preimage states the
+/// interrupted iteration had already verified. It is an
+/// under-approximation — never a fabricated fixed point (`converged` stays
+/// `false`). Hitting `max_iterations` is a *requested* cap, not a resource
+/// stop: `converged == false` but `complete` stays `true`.
 #[derive(Clone, Debug)]
 pub struct ReachReport {
     /// All states that can reach the target (including the target itself).
@@ -66,6 +110,11 @@ pub struct ReachReport {
     pub iterations: Vec<ReachIteration>,
     /// `true` if a fixed point was reached (no iteration cap hit).
     pub converged: bool,
+    /// `false` if a resource budget, deadline, or cancellation stopped the
+    /// loop before the fixed point (or iteration cap) was reached.
+    pub complete: bool,
+    /// Why the loop stopped early; `None` unless `complete == false`.
+    pub stop_reason: Option<StopReason>,
     /// Aggregated engine counters over every iteration: work counters are
     /// summed, peak sizes take the maximum, `iterations` is the
     /// fixed-point depth (number of preimage calls), and `wall_time_ns`
@@ -141,7 +190,11 @@ pub fn backward_reach_with_sink(
     let mut frontier_node = reached;
     let mut iterations = Vec::new();
     let mut converged = false;
+    let mut stop: Option<StopReason> = None;
     let mut stats = PreimageStats::default();
+    // Counter residue of the total budget, spent down by each iteration's
+    // sub-solver work (the deadline is absolute — no bookkeeping needed).
+    let mut total_remaining = options.total_budget;
 
     for iteration in 1.. {
         if frontier_node == SolutionNodeId::BOTTOM {
@@ -151,18 +204,52 @@ pub fn backward_reach_with_sink(
         if options.max_iterations.is_some_and(|cap| iteration > cap) {
             break;
         }
+        // Between-iteration stop checks cover every engine, including
+        // those that ignore limits inside a call (the BDD engine).
+        if options.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            stop = Some(StopReason::Cancelled);
+            break;
+        }
+        if let Some(deadline) = options.total_budget.deadline {
+            if Instant::now() >= deadline {
+                stop = Some(StopReason::Deadline);
+                break;
+            }
+        }
+        if total_remaining.conflicts == Some(0) {
+            stop = Some(StopReason::Conflicts);
+            break;
+        }
+        if total_remaining.propagations == Some(0) {
+            stop = Some(StopReason::Propagations);
+            break;
+        }
+        let limits = EnumLimits {
+            budget: effective_budget(&options.step_budget, &total_remaining),
+            cancel: options.cancel.clone(),
+            max_solutions: None,
+        };
         let frontier = StateSet::from_cubes(graph.to_cube_set(frontier_node, &position_vars));
         let start = Instant::now();
         let pre = match session.as_deref_mut() {
-            Some(s) => s.preimage_with_sink(&frontier, sink),
-            None => engine.preimage_with_sink(circuit, &frontier, sink),
+            Some(s) => s.preimage_limited(&frontier, &limits, sink),
+            None => engine.preimage_limited(circuit, &frontier, &limits, sink),
         };
         let elapsed = start.elapsed();
         stats.absorb(&pre.stats);
+        if let Some(c) = total_remaining.conflicts.as_mut() {
+            *c = c.saturating_sub(pre.stats.allsat.sat.conflicts);
+        }
+        if let Some(p) = total_remaining.propagations.as_mut() {
+            *p = p.saturating_sub(pre.stats.allsat.sat.propagations);
+        }
         if let Some(s) = session.as_deref_mut() {
             s.block_states(&pre.states);
         }
 
+        // Partial preimage states are still verified predecessors of the
+        // frontier: absorbing them keeps the report a sound
+        // under-approximation even when this iteration was cut short.
         let pre_node = graph.add_cube_set(pre.states.cubes(), &position_vars);
         let new_node = graph.diff(pre_node, reached);
         let next_frontier = if options.simplify_frontier && new_node != SolutionNodeId::BOTTOM {
@@ -189,6 +276,12 @@ pub fn backward_reach_with_sink(
             reached_states: graph.minterm_count(reached),
             elapsed,
         });
+        if !pre.complete {
+            // An interrupted preimage: an empty new_node here means "ran
+            // out of budget", NOT "fixed point" — stop without converging.
+            stop = pre.stop_reason;
+            break;
+        }
         frontier_node = if graph.minterm_count(new_node) == 0 {
             SolutionNodeId::BOTTOM
         } else {
@@ -196,6 +289,9 @@ pub fn backward_reach_with_sink(
         };
     }
 
+    if let Some(reason) = stop {
+        sink.record(&Event::BudgetStop { reason });
+    }
     let reached_states = graph.minterm_count(reached);
     let reached_set = StateSet::from_cubes(graph.to_cube_set(reached, &position_vars));
     stats.iterations = iterations.len() as u64;
@@ -209,7 +305,29 @@ pub fn backward_reach_with_sink(
         reached_states,
         iterations,
         converged,
+        complete: stop.is_none(),
+        stop_reason: stop,
         stats,
+    }
+}
+
+/// The budget for one iteration's preimage call: the per-step allowance
+/// clipped to what remains of the total (counters take the minimum,
+/// deadlines the earliest).
+fn effective_budget(step: &Budget, total_remaining: &Budget) -> Budget {
+    let min_opt = |a: Option<u64>, b: Option<u64>| match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    };
+    Budget {
+        conflicts: min_opt(step.conflicts, total_remaining.conflicts),
+        propagations: min_opt(step.propagations, total_remaining.propagations),
+        deadline: match (step.deadline, total_remaining.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        },
     }
 }
 

@@ -1,8 +1,8 @@
 //! SAT-enumerative preimage engines.
 
 use presat_allsat::{
-    AllSatEngine, AllSatProblem, AllSatResult, BlockingAllSat, MinimizedBlockingAllSat,
-    ParallelAllSat, SignatureMode, SuccessDrivenAllSat,
+    AllSatEngine, AllSatProblem, AllSatResult, BlockingAllSat, EnumLimits,
+    MinimizedBlockingAllSat, ParallelAllSat, SignatureMode, SuccessDrivenAllSat,
 };
 use presat_circuit::Circuit;
 use presat_logic::CubeSet;
@@ -153,14 +153,26 @@ impl PreimageEngine for SatPreimage {
         target: &StateSet,
         sink: &mut dyn ObsSink,
     ) -> PreimageResult {
+        self.preimage_limited(circuit, target, &EnumLimits::none(), sink)
+    }
+
+    fn preimage_limited(
+        &self,
+        circuit: &Circuit,
+        target: &StateSet,
+        limits: &EnumLimits,
+        sink: &mut dyn ObsSink,
+    ) -> PreimageResult {
         let timer = Timer::start();
         let enc = StepEncoding::build_with_env(circuit, target, self.env.as_ref());
         let state_vars = enc.state_vars();
         let problem = AllSatProblem::new(enc.into_cnf(), state_vars);
         let result = match self.kind {
-            SatEngineKind::Blocking => BlockingAllSat::new().enumerate_with_sink(&problem, sink),
+            SatEngineKind::Blocking => {
+                BlockingAllSat::new().enumerate_limited(&problem, limits, sink)
+            }
             SatEngineKind::MinBlocking => {
-                MinimizedBlockingAllSat::new().enumerate_with_sink(&problem, sink)
+                MinimizedBlockingAllSat::new().enumerate_limited(&problem, limits, sink)
             }
             SatEngineKind::SuccessDriven {
                 signature,
@@ -170,18 +182,20 @@ impl PreimageEngine for SatPreimage {
                     SuccessDrivenAllSat::new()
                         .with_signature(signature)
                         .with_model_guidance(model_guidance)
-                        .enumerate_with_sink(&problem, sink)
+                        .enumerate_limited(&problem, limits, sink)
                 } else {
                     ParallelAllSat::new(self.jobs)
                         .with_signature(signature)
                         .with_model_guidance(model_guidance)
-                        .enumerate_with_sink(&problem, sink)
+                        .enumerate_limited(&problem, limits, sink)
                 }
             }
         };
         let AllSatResult {
             cubes,
             stats: astats,
+            complete,
+            stop_reason,
             ..
         } = result;
         let result_cubes = cubes.len() as u64;
@@ -204,6 +218,8 @@ impl PreimageEngine for SatPreimage {
             },
             states,
             elapsed: timer.elapsed(),
+            complete,
+            stop_reason,
         }
     }
 

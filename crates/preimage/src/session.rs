@@ -21,7 +21,7 @@
 //!   blocking clauses over the state variables, so states already known
 //!   backward-reachable are never re-enumerated.
 
-use presat_allsat::{AllSatResult, IncrementalAllSat, SuccessDrivenAllSat};
+use presat_allsat::{AllSatResult, EnumLimits, IncrementalAllSat, SuccessDrivenAllSat};
 use presat_circuit::Circuit;
 use presat_logic::{CubeSet, Lit};
 use presat_obs::{Event, ObsSink, Timer};
@@ -119,16 +119,30 @@ impl PreimageSession for SatPreimageSession {
     }
 
     fn preimage_with_sink(&mut self, target: &StateSet, sink: &mut dyn ObsSink) -> PreimageResult {
+        self.preimage_limited(target, &EnumLimits::none(), sink)
+    }
+
+    fn preimage_limited(
+        &mut self,
+        target: &StateSet,
+        limits: &EnumLimits,
+        sink: &mut dyn ObsSink,
+    ) -> PreimageResult {
         let timer = Timer::start();
         let learnts_carried = self.inner.live_learnts() as u64;
         let encodings_reused = u64::from(self.iterations > 0);
         let act = self.activate_target(target);
-        let result = self.inner.enumerate_with_sink(&[act], sink);
+        let result = self.inner.enumerate_limited(&[act], limits, sink);
+        // Retiring the group is safe even after a stopped enumeration: the
+        // session's persistent state never absorbs truncated subgraphs, so
+        // the next (possibly unlimited) call starts sound.
         self.inner.retire(act);
         self.iterations += 1;
         let AllSatResult {
             cubes,
             stats: astats,
+            complete,
+            stop_reason,
             ..
         } = result;
         let result_cubes = cubes.len() as u64;
@@ -153,6 +167,8 @@ impl PreimageSession for SatPreimageSession {
             },
             states,
             elapsed: timer.elapsed(),
+            complete,
+            stop_reason,
         }
     }
 

@@ -180,6 +180,8 @@ pub fn k_step_preimage(circuit: &Circuit, target: &StateSet, k: usize) -> Preima
         },
         states,
         elapsed,
+        complete: true,
+        stop_reason: None,
     }
 }
 

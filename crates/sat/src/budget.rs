@@ -1,0 +1,128 @@
+//! Resource budgets and cooperative cancellation for anytime solving.
+//!
+//! A [`Budget`] bounds how much work the *next* solve calls may do
+//! (conflicts, propagations, a wall-clock deadline); a [`CancelToken`] lets
+//! another thread ask a running search to stop. Both are polled
+//! cooperatively in the CDCL search loop — cheaply enough that an
+//! unbudgeted solver pays a single predicted branch per conflict and per
+//! decision — and both surface as
+//! [`SolveResult::Unknown`](crate::SolveResult::Unknown) with a
+//! [`StopReason`], **never** as a spurious `Unsat`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[allow(unused_imports)] // referenced by doc links
+use crate::types::StopReason;
+
+/// Resource limits for a solver's upcoming work.
+///
+/// The default budget is unlimited. Each limit is independent; the first
+/// one to trip stops the search with the matching [`StopReason`]. Budgets
+/// are *cumulative across calls* once installed with
+/// [`Solver::set_budget`](crate::Solver::set_budget): an enumeration engine
+/// installs one budget and the whole multi-call enumeration shares it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Maximum additional conflicts before stopping.
+    pub conflicts: Option<u64>,
+    /// Maximum additional propagations before stopping.
+    pub propagations: Option<u64>,
+    /// Absolute wall-clock instant after which the search stops.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// The unlimited budget (same as `Budget::default()`).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Caps additional conflicts.
+    pub fn with_conflicts(mut self, conflicts: u64) -> Self {
+        self.conflicts = Some(conflicts);
+        self
+    }
+
+    /// Caps additional propagations.
+    pub fn with_propagations(mut self, propagations: u64) -> Self {
+        self.propagations = Some(propagations);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// `true` if no limit is set (the default).
+    pub fn is_unlimited(&self) -> bool {
+        self.conflicts.is_none() && self.propagations.is_none() && self.deadline.is_none()
+    }
+}
+
+/// A shared cooperative-cancellation flag.
+///
+/// Clones share one underlying flag (`Arc<AtomicBool>`): hand clones to any
+/// number of running engines or worker threads, then [`cancel`] from
+/// anywhere. A cancelled search stops at its next poll point and returns
+/// [`SolveResult::Unknown`](crate::SolveResult::Unknown) with
+/// [`StopReason::Cancelled`]; enumeration engines flag their partial result
+/// `complete = false`. Cancellation is sticky — there is deliberately no
+/// reset, so a token cannot be un-cancelled under a running worker's feet.
+///
+/// [`cancel`]: CancelToken::cancel
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        assert!(Budget::default().is_unlimited());
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(!Budget::default().with_conflicts(5).is_unlimited());
+        assert!(!Budget::default().with_propagations(5).is_unlimited());
+        assert!(!Budget::default()
+            .with_timeout(Duration::from_millis(1))
+            .is_unlimited());
+    }
+
+    #[test]
+    fn cancel_token_clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert!(u.is_cancelled());
+    }
+}

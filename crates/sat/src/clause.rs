@@ -20,14 +20,35 @@ pub(crate) struct Clause {
     pub(crate) deleted: bool,
 }
 
+/// Typed error: the clause arena has no room for another clause. Callers
+/// must not abort on it — the solver surfaces it as
+/// [`SolveResult::Unknown`](crate::SolveResult::Unknown) with
+/// [`StopReason::ResourceExhausted`](crate::StopReason::ResourceExhausted).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ArenaFull;
+
 /// The clause arena. Deleted clauses leave tombstones which are reused only
 /// when the arena is compacted between solves (compaction is unnecessary for
 /// the workloads in this workspace; tombstones keep `ClauseRef`s stable).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub(crate) struct ClauseDb {
     arena: Vec<Clause>,
     /// Refs of learnt clauses still alive, for reduction sweeps.
     pub(crate) learnts: Vec<ClauseRef>,
+    /// Maximum arena slots before [`ClauseDb::alloc`] reports [`ArenaFull`].
+    /// Defaults to the `u32` index space of [`ClauseRef`]; tests shrink it
+    /// to exercise the exhaustion path without allocating gigabytes.
+    pub(crate) capacity: u32,
+}
+
+impl Default for ClauseDb {
+    fn default() -> Self {
+        ClauseDb {
+            arena: Vec::new(),
+            learnts: Vec::new(),
+            capacity: u32::MAX,
+        }
+    }
 }
 
 impl ClauseDb {
@@ -35,8 +56,19 @@ impl ClauseDb {
         ClauseDb::default()
     }
 
-    pub(crate) fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
-        let cref = ClauseRef(u32::try_from(self.arena.len()).expect("clause arena overflow"));
+    pub(crate) fn alloc(
+        &mut self,
+        lits: Vec<Lit>,
+        learnt: bool,
+        lbd: u32,
+    ) -> Result<ClauseRef, ArenaFull> {
+        if self.arena.len() >= self.capacity as usize {
+            return Err(ArenaFull);
+        }
+        let Ok(index) = u32::try_from(self.arena.len()) else {
+            return Err(ArenaFull);
+        };
+        let cref = ClauseRef(index);
         self.arena.push(Clause {
             lits,
             learnt,
@@ -47,7 +79,7 @@ impl ClauseDb {
         if learnt {
             self.learnts.push(cref);
         }
-        cref
+        Ok(cref)
     }
 
     #[inline]
@@ -107,7 +139,7 @@ mod tests {
     #[test]
     fn alloc_and_get() {
         let mut db = ClauseDb::new();
-        let c = db.alloc(vec![lit(0), lit(1)], false, 0);
+        let c = db.alloc(vec![lit(0), lit(1)], false, 0).unwrap();
         assert_eq!(db.get(c).lits.len(), 2);
         assert!(!db.get(c).learnt);
     }
@@ -115,17 +147,28 @@ mod tests {
     #[test]
     fn learnt_index_tracks_learnts_only() {
         let mut db = ClauseDb::new();
-        db.alloc(vec![lit(0)], false, 0);
-        let l = db.alloc(vec![lit(1)], true, 2);
+        db.alloc(vec![lit(0)], false, 0).unwrap();
+        let l = db.alloc(vec![lit(1)], true, 2).unwrap();
         assert_eq!(db.learnts, vec![l]);
         assert_eq!(db.live_learnts(), 1);
     }
 
     #[test]
+    fn alloc_past_capacity_is_a_typed_error_not_a_panic() {
+        let mut db = ClauseDb::new();
+        db.capacity = 2;
+        db.alloc(vec![lit(0)], false, 0).unwrap();
+        db.alloc(vec![lit(1)], false, 0).unwrap();
+        assert_eq!(db.alloc(vec![lit(2)], false, 0), Err(ArenaFull));
+        // The arena itself is untouched by the failed allocation.
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
     fn delete_tombstones_and_sweep() {
         let mut db = ClauseDb::new();
-        let a = db.alloc(vec![lit(0)], true, 1);
-        let b = db.alloc(vec![lit(1)], true, 1);
+        let a = db.alloc(vec![lit(0)], true, 1).unwrap();
+        let b = db.alloc(vec![lit(1)], true, 1).unwrap();
         db.delete(a);
         assert!(db.get(a).deleted);
         assert_eq!(db.live_learnts(), 1);

@@ -217,7 +217,7 @@ mod tests {
             let mut popped: Vec<f64> =
                 std::iter::from_fn(|| h.pop(&activity).map(|v| activity[v.index()])).collect();
             let mut sorted = popped.clone();
-            sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+            sorted.sort_by(|a, b| b.total_cmp(a));
             popped.truncate(sorted.len());
             assert_eq!(popped, sorted);
         }

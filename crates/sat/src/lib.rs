@@ -28,6 +28,7 @@
 //! match solver.solve() {
 //!     SolveResult::Sat(model) => assert_eq!(model.value(b), Some(true)),
 //!     SolveResult::Unsat => unreachable!("formula is satisfiable"),
+//!     SolveResult::Unknown(reason) => unreachable!("no budget installed: {reason}"),
 //! }
 //!
 //! // Incremental: the same solver, now under an assumption.
@@ -35,15 +36,34 @@
 //! assert!(matches!(under, SolveResult::Unsat));
 //! assert_eq!(solver.unsat_core(), &[Lit::neg(b)]);
 //! ```
+//!
+//! # Anytime solving
+//!
+//! Solves are *three-valued*: under a [`Budget`] (conflicts, propagations,
+//! wall-clock deadline) or a shared [`CancelToken`], a search that stops
+//! early answers [`SolveResult::Unknown`] with a [`StopReason`] — never a
+//! spurious `Unsat`.
+//!
+//! ```
+//! use presat_logic::{Lit, Var};
+//! use presat_sat::{Budget, SolveResult, Solver};
+//!
+//! let mut s = Solver::new(1);
+//! s.add_clause([Lit::pos(Var::new(0))]);
+//! s.set_budget(Budget::unlimited().with_conflicts(0));
+//! assert!(matches!(s.solve(), SolveResult::Sat(_) | SolveResult::Unknown(_)));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod clause;
 mod heap;
 pub mod simplify;
 mod solver;
 mod types;
 
+pub use budget::{Budget, CancelToken};
 pub use solver::Solver;
-pub use types::{Lbool, SolveResult, SolverStats};
+pub use types::{Lbool, SolveResult, SolverStats, StopReason};

@@ -1,10 +1,13 @@
 //! The CDCL search engine.
 
+use std::time::Instant;
+
 use presat_logic::{Assignment, Cnf, Lit, Var};
 
+use crate::budget::{Budget, CancelToken};
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
-use crate::types::{Lbool, SolveResult, SolverStats};
+use crate::types::{Lbool, SolveResult, SolverStats, StopReason};
 
 /// A watch-list entry: the clause plus a *blocker* literal whose satisfaction
 /// lets propagation skip the clause without touching its literal array.
@@ -23,6 +26,12 @@ const VAR_DECAY: f64 = 0.95;
 const CLAUSE_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
 const RESTART_BASE: u64 = 100;
+/// Wall-clock deadline polling stride: `Instant::now()` is checked once per
+/// this many conflicts (and once per this many decisions on the decision
+/// path) so unbudgeted and budgeted-but-not-expired runs never pay a
+/// syscall per conflict. Counter and cancel-token checks are loads and run
+/// at every poll point.
+const TIME_POLL_STRIDE: u64 = 64;
 
 /// An incremental CDCL SAT solver.
 ///
@@ -69,7 +78,23 @@ pub struct Solver {
     core: Vec<Lit>,
     stats: SolverStats,
     max_learnts: usize,
-    conflict_budget: Option<u64>,
+    /// Absolute conflict-count threshold (cumulative over the solver's
+    /// lifetime) installed by [`Solver::set_budget`].
+    limit_conflicts: Option<u64>,
+    /// Absolute propagation-count threshold installed by
+    /// [`Solver::set_budget`].
+    limit_propagations: Option<u64>,
+    /// Wall-clock deadline installed by [`Solver::set_budget`].
+    deadline: Option<Instant>,
+    /// Cooperative cancellation flag shared with other threads.
+    cancel: Option<CancelToken>,
+    /// Cached `limit_* / deadline / cancel is set` so the search hot loop
+    /// pays one predicted branch when no budget is installed.
+    has_limits: bool,
+    /// Sticky flag: a *problem* clause was dropped because the clause arena
+    /// is full. The clause set no longer faithfully represents the input,
+    /// so every later solve answers `Unknown(ResourceExhausted)`.
+    resource_exhausted: bool,
 }
 
 impl Solver {
@@ -94,7 +119,12 @@ impl Solver {
             core: Vec::new(),
             stats: SolverStats::default(),
             max_learnts: 4000,
-            conflict_budget: None,
+            limit_conflicts: None,
+            limit_propagations: None,
+            deadline: None,
+            cancel: None,
+            has_limits: false,
+            resource_exhausted: false,
         };
         s.grow_to(num_vars);
         s
@@ -133,19 +163,68 @@ impl Solver {
         &self.core
     }
 
-    /// Limits the *next* solve calls to roughly `conflicts` conflicts; when
-    /// exhausted the solve returns `Unsat`... never — instead it would be
-    /// wrong to conflate budget exhaustion with UNSAT, so exhaustion panics
-    /// in debug and is surfaced via [`Solver::budget_exhausted`]. Pass
-    /// `None` to remove the limit.
-    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
-        self.conflict_budget = conflicts.map(|c| self.stats.conflicts + c);
+    /// Installs a [`Budget`] for the upcoming solve calls. Counter limits
+    /// are converted to absolute thresholds against the solver's cumulative
+    /// statistics, so one installed budget is shared across *all* following
+    /// calls until replaced — exactly what a multi-call enumeration wants.
+    /// A search that trips a limit returns
+    /// [`SolveResult::Unknown`](crate::SolveResult::Unknown) with the
+    /// matching [`StopReason`] — never a spurious `Unsat`. Install
+    /// [`Budget::unlimited`] to remove all limits.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.limit_conflicts = budget
+            .conflicts
+            .map(|c| self.stats.conflicts.saturating_add(c));
+        self.limit_propagations = budget
+            .propagations
+            .map(|p| self.stats.propagations.saturating_add(p));
+        self.deadline = budget.deadline;
+        self.update_has_limits();
     }
 
-    /// `true` if the previous solve stopped because the conflict budget ran
-    /// out (in which case its `Unsat` answer is *inconclusive*).
-    pub fn budget_exhausted(&self) -> bool {
-        matches!(self.conflict_budget, Some(limit) if self.stats.conflicts >= limit)
+    /// Attaches (or with `None` detaches) a shared [`CancelToken`]; once
+    /// cancelled, running and future solves return
+    /// `Unknown(`[`StopReason::Cancelled`]`)` at their next poll point.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+        self.update_has_limits();
+    }
+
+    fn update_has_limits(&mut self) {
+        self.has_limits = self.limit_conflicts.is_some()
+            || self.limit_propagations.is_some()
+            || self.deadline.is_some()
+            || self.cancel.is_some();
+    }
+
+    /// First tripped limit, if any. `check_time` gates the `Instant::now()`
+    /// call so hot-loop callers only pay it every [`TIME_POLL_STRIDE`]
+    /// steps.
+    #[inline]
+    fn check_stop(&self, check_time: bool) -> Option<StopReason> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(limit) = self.limit_conflicts {
+            if self.stats.conflicts >= limit {
+                return Some(StopReason::Conflicts);
+            }
+        }
+        if let Some(limit) = self.limit_propagations {
+            if self.stats.propagations >= limit {
+                return Some(StopReason::Propagations);
+            }
+        }
+        if check_time {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Some(StopReason::Deadline);
+                }
+            }
+        }
+        None
     }
 
     fn grow_to(&mut self, num_vars: usize) {
@@ -230,11 +309,20 @@ impl Solver {
                 self.ok = self.propagate().is_none();
                 self.ok
             }
-            _ => {
-                let cref = self.db.alloc(simplified, false, 0);
-                self.attach(cref);
-                true
-            }
+            _ => match self.db.alloc(simplified, false, 0) {
+                Ok(cref) => {
+                    self.attach(cref);
+                    true
+                }
+                Err(_) => {
+                    // A dropped problem clause means the stored formula is
+                    // weaker than the input: no later answer can be trusted
+                    // as complete, so poison the solver into `Unknown`
+                    // (never abort, never silently mis-answer).
+                    self.resource_exhausted = true;
+                    true
+                }
+            },
         }
     }
 
@@ -552,12 +640,12 @@ impl Solver {
         // Sort the learnt index in place (taken out of the db so the sort
         // comparator can read clause metadata) — no per-call allocation.
         let mut order: Vec<ClauseRef> = std::mem::take(&mut self.db.learnts);
-        // Worst first: high LBD, then low activity.
+        // Worst first: high LBD, then low activity. `total_cmp` keeps the
+        // sort total even if an activity overflowed to infinity or became
+        // NaN before the rescale check could catch it.
         order.sort_by(|&a, &b| {
             let (ca, cb) = (self.db.get(a), self.db.get(b));
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).expect("no NaN"))
+            cb.lbd.cmp(&ca.lbd).then(ca.activity.total_cmp(&cb.activity))
         });
         let target = order.len() / 2;
         let mut removed = 0;
@@ -606,7 +694,20 @@ impl Solver {
         self.stats.solves += 1;
         self.core.clear();
         if !self.ok {
+            // Refutation at level 0 is a proof over the clauses actually
+            // stored — sound even if later clauses were dropped.
             return SolveResult::Unsat;
+        }
+        if self.resource_exhausted {
+            return SolveResult::Unknown(StopReason::ResourceExhausted);
+        }
+        if self.has_limits {
+            // An already-expired budget (shared across an enumeration's
+            // many calls) must stop *before* any work, even on instances
+            // the search would decide without a single conflict.
+            if let Some(reason) = self.check_stop(true) {
+                return SolveResult::Unknown(reason);
+            }
         }
         debug_assert_eq!(self.decision_level(), 0);
         if self.propagate().is_some() {
@@ -627,7 +728,7 @@ impl Solver {
                     restarts_this_call += 1;
                     self.stats.restarts += 1;
                 }
-                SearchOutcome::BudgetExhausted => break SolveResult::Unsat,
+                SearchOutcome::Stopped(reason) => break SolveResult::Unknown(reason),
             }
         };
         self.cancel_until(0);
@@ -665,17 +766,32 @@ impl Solver {
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], None);
                 } else {
-                    let cref = self.db.alloc(learnt.clone(), true, lbd);
-                    self.attach(cref);
-                    self.stats.learnt_clauses += 1;
-                    self.bump_clause(cref);
-                    self.enqueue(learnt[0], Some(cref));
+                    match self.db.alloc(learnt.clone(), true, lbd) {
+                        Ok(cref) => {
+                            self.attach(cref);
+                            self.stats.learnt_clauses += 1;
+                            self.bump_clause(cref);
+                            self.enqueue(learnt[0], Some(cref));
+                        }
+                        Err(_) => {
+                            // Dropping a learnt clause is sound (it is
+                            // implied), but without room to learn, progress
+                            // guarantees are gone — stop honestly. Not
+                            // sticky: a later `retire_group`/`reduce_db`
+                            // cannot shrink the arena, but the caller may
+                            // still accept per-call `Unknown`s.
+                            self.cancel_until(0);
+                            return SearchOutcome::Stopped(StopReason::ResourceExhausted);
+                        }
+                    }
                 }
                 self.decay_activities();
-                if let Some(budget) = self.conflict_budget {
-                    if self.stats.conflicts >= budget {
+                if self.has_limits {
+                    let reason =
+                        self.check_stop(self.stats.conflicts.is_multiple_of(TIME_POLL_STRIDE));
+                    if let Some(reason) = reason {
                         self.cancel_until(0);
-                        return SearchOutcome::BudgetExhausted;
+                        return SearchOutcome::Stopped(reason);
                     }
                 }
                 if self.db.live_learnts() > self.max_learnts {
@@ -684,6 +800,15 @@ impl Solver {
                 }
             } else {
                 // No conflict.
+                if self.has_limits && self.stats.decisions.is_multiple_of(TIME_POLL_STRIDE) {
+                    // Poll on the decision path too: instances that search
+                    // with few conflicts must still honor deadlines and
+                    // cancellation.
+                    if let Some(reason) = self.check_stop(true) {
+                        self.cancel_until(0);
+                        return SearchOutcome::Stopped(reason);
+                    }
+                }
                 if conflicts_here >= conflict_limit && self.decision_level() > assumptions.len() {
                     self.cancel_until(assumptions.len().min(self.decision_level()));
                     return SearchOutcome::Restart;
@@ -788,9 +913,9 @@ impl Solver {
     /// decision level 0 (no assumption level lingers from an interrupted
     /// call — `solve_with_assumptions` always retracts its assumptions)
     /// and hands back a clone with a cleared failed-assumption core, no
-    /// conflict budget, and zeroed statistics. Everything that makes an
-    /// incremental solver warm — level-0 facts, problem and learnt
-    /// clauses, saved phases, activities — is retained.
+    /// budget, deadline, or cancel token, and zeroed statistics. Everything
+    /// that makes an incremental solver warm — level-0 facts, problem and
+    /// learnt clauses, saved phases, activities — is retained.
     ///
     /// # Panics
     ///
@@ -804,7 +929,11 @@ impl Solver {
         debug_assert_eq!(self.qhead, self.trail.len(), "propagation queue drained");
         let mut clone = self.clone();
         clone.core.clear();
-        clone.conflict_budget = None;
+        clone.limit_conflicts = None;
+        clone.limit_propagations = None;
+        clone.deadline = None;
+        clone.cancel = None;
+        clone.has_limits = false;
         clone.reset_stats();
         clone
     }
@@ -877,7 +1006,9 @@ enum SearchOutcome {
     Sat,
     Unsat,
     Restart,
-    BudgetExhausted,
+    /// A budget limit, deadline, cancellation, or internal resource limit
+    /// stopped the search before it reached an answer.
+    Stopped(StopReason),
 }
 
 /// The Luby sequence scaled by `y`: 1,1,2,1,1,2,4,… (reluctant doubling).
@@ -1346,5 +1477,159 @@ mod tests {
             "learnt counter resynced after the sweep"
         );
         assert!(s.solve().is_sat());
+    }
+
+    /// A hard-ish pigeonhole-style instance: `holes + 1` pigeons into
+    /// `holes` holes, guaranteed to generate conflicts.
+    fn pigeonhole(holes: usize) -> Solver {
+        let pigeons = holes + 1;
+        let mut s = Solver::new(pigeons * holes);
+        let var = |p: usize, h: usize| Var::new(p * holes + h);
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| Lit::pos(var(p, h))));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause([Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+        s
+    }
+
+    /// Regression for the original budget bug: a budgeted solve on a
+    /// *satisfiable* instance must never report `Unsat` — exhaustion is
+    /// `Unknown`, with the matching reason.
+    #[test]
+    fn budgeted_solve_on_satisfiable_instance_never_reports_unsat() {
+        for budget in [0u64, 1, 2, 5, 20] {
+            // Satisfiable: pigeonhole with a pigeon removed (n into n).
+            let holes = 6;
+            let mut s = Solver::new(holes * holes);
+            let var = |p: usize, h: usize| Var::new(p * holes + h);
+            for p in 0..holes {
+                s.add_clause((0..holes).map(|h| Lit::pos(var(p, h))));
+            }
+            for h in 0..holes {
+                for p1 in 0..holes {
+                    for p2 in (p1 + 1)..holes {
+                        s.add_clause([Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                    }
+                }
+            }
+            s.set_budget(Budget::unlimited().with_conflicts(budget));
+            match s.solve() {
+                SolveResult::Unsat => panic!("budget={budget}: lied about UNSAT"),
+                SolveResult::Sat(_) | SolveResult::Unknown(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_stops_with_reason_and_solver_stays_usable() {
+        let mut s = pigeonhole(7);
+        s.set_budget(Budget::unlimited().with_conflicts(3));
+        let r = s.solve();
+        assert_eq!(r.stop_reason(), Some(StopReason::Conflicts));
+        // Removing the budget lets the same solver finish the proof.
+        s.set_budget(Budget::unlimited());
+        assert!(matches!(s.solve(), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn budget_is_cumulative_across_calls() {
+        let mut s = pigeonhole(7);
+        s.set_budget(Budget::unlimited().with_conflicts(5));
+        assert!(s.solve().is_unknown());
+        // The threshold was absolute: a second call is already exhausted
+        // and must stop before doing any work.
+        let conflicts_before = s.stats().conflicts;
+        assert_eq!(s.solve().stop_reason(), Some(StopReason::Conflicts));
+        assert_eq!(s.stats().conflicts, conflicts_before);
+    }
+
+    #[test]
+    fn propagation_budget_stops_with_reason() {
+        let mut s = pigeonhole(6);
+        s.set_budget(Budget::unlimited().with_propagations(10));
+        assert_eq!(s.solve().stop_reason(), Some(StopReason::Propagations));
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_any_work() {
+        let mut s = pigeonhole(6);
+        s.set_budget(Budget::unlimited().with_deadline(std::time::Instant::now()));
+        assert_eq!(s.solve().stop_reason(), Some(StopReason::Deadline));
+        assert_eq!(s.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn cancelled_token_stops_solve() {
+        let mut s = pigeonhole(7);
+        let token = CancelToken::new();
+        s.set_cancel(Some(token.clone()));
+        token.cancel();
+        assert_eq!(s.solve().stop_reason(), Some(StopReason::Cancelled));
+        s.set_cancel(None);
+        assert!(matches!(s.solve(), SolveResult::Unsat), "token detached");
+        // A finished refutation is a proof: once Unsat is established,
+        // even a cancelled token cannot retract it.
+        s.set_cancel(Some(token));
+        assert!(matches!(s.solve(), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn clone_at_root_sheds_budget_and_cancel() {
+        let mut s = pigeonhole(6);
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_budget(Budget::unlimited().with_conflicts(1));
+        s.set_cancel(Some(token));
+        let mut fresh = s.clone_at_root();
+        assert!(matches!(fresh.solve(), SolveResult::Unsat));
+        assert!(s.solve().is_unknown());
+    }
+
+    /// Satellite regression: drive clause activities through the rescale
+    /// path with an extreme increment. Before the `total_cmp` fix,
+    /// `reduce_db`'s comparator panicked once an activity reached
+    /// inf/NaN; `total_cmp` keeps the sort total for any bit pattern.
+    #[test]
+    fn reduce_db_survives_extreme_activity_increments() {
+        let mut s = pigeonhole(7);
+        // One bump of `cla_inc` overshoots RESCALE_LIMIT to infinity, and
+        // `inf * (1/RESCALE_LIMIT)` stays infinite, so activities can hold
+        // non-finite values when reduce_db sorts them.
+        s.cla_inc = f64::MAX;
+        s.var_inc = f64::MAX;
+        s.max_learnts = 4;
+        assert!(matches!(s.solve(), SolveResult::Unsat));
+        assert!(s.stats().deleted_clauses > 0, "reduce_db must have run");
+    }
+
+    /// Satellite regression: clause-arena exhaustion surfaces as a typed
+    /// `Unknown(ResourceExhausted)`, not a process abort.
+    #[test]
+    fn arena_exhaustion_surfaces_as_unknown() {
+        // Mid-search exhaustion: room for the problem clauses but not for
+        // learnt clauses.
+        let mut s = pigeonhole(7);
+        s.db.capacity = s.db.len() as u32;
+        assert_eq!(
+            s.solve().stop_reason(),
+            Some(StopReason::ResourceExhausted)
+        );
+
+        // Exhaustion while adding problem clauses poisons the solver: the
+        // stored formula is incomplete, so answers become Unknown.
+        let mut s = Solver::new(4);
+        s.db.capacity = 1;
+        assert!(s.add_clause([lit(0, true), lit(1, true)]));
+        assert!(s.add_clause([lit(2, true), lit(3, true)])); // dropped
+        assert_eq!(
+            s.solve().stop_reason(),
+            Some(StopReason::ResourceExhausted)
+        );
     }
 }

@@ -66,13 +66,26 @@ impl fmt::Display for Lbool {
     }
 }
 
+/// Why a solve stopped early; re-exported from `presat-obs` so partial
+/// results carry the same reason type at every layer.
+pub use presat_obs::StopReason;
+
 /// Outcome of a [`crate::Solver`] query.
+///
+/// Three-valued: a solver running under a [`crate::Budget`] or a
+/// [`crate::CancelToken`] that stops early answers
+/// [`Unknown`](SolveResult::Unknown) — *never* a spurious
+/// [`Unsat`](SolveResult::Unsat). `Unsat` is a proof; `Unknown` is an
+/// honest "ran out of resources".
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SolveResult {
     /// Satisfiable, with a total model over the solver's variable space.
     Sat(Assignment),
     /// Unsatisfiable (under the given assumptions, if any were passed).
     Unsat,
+    /// Inconclusive: the search stopped for the given reason before
+    /// reaching an answer. The solver remains usable.
+    Unknown(StopReason),
 }
 
 impl SolveResult {
@@ -81,11 +94,24 @@ impl SolveResult {
         matches!(self, SolveResult::Sat(_))
     }
 
+    /// `true` for the [`SolveResult::Unknown`] variant.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SolveResult::Unknown(_))
+    }
+
+    /// The stop reason, if the search was inconclusive.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        match self {
+            SolveResult::Unknown(r) => Some(*r),
+            _ => None,
+        }
+    }
+
     /// The model, if satisfiable.
     pub fn model(&self) -> Option<&Assignment> {
         match self {
             SolveResult::Sat(m) => Some(m),
-            SolveResult::Unsat => None,
+            SolveResult::Unsat | SolveResult::Unknown(_) => None,
         }
     }
 
@@ -93,7 +119,7 @@ impl SolveResult {
     pub fn into_model(self) -> Option<Assignment> {
         match self {
             SolveResult::Sat(m) => Some(m),
-            SolveResult::Unsat => None,
+            SolveResult::Unsat | SolveResult::Unknown(_) => None,
         }
     }
 }
@@ -134,5 +160,14 @@ mod tests {
         assert_eq!(sat.into_model(), Some(m));
         assert!(!SolveResult::Unsat.is_sat());
         assert_eq!(SolveResult::Unsat.model(), None);
+        assert!(!SolveResult::Unsat.is_unknown());
+        assert_eq!(SolveResult::Unsat.stop_reason(), None);
+
+        let unknown = SolveResult::Unknown(StopReason::Conflicts);
+        assert!(!unknown.is_sat());
+        assert!(unknown.is_unknown());
+        assert_eq!(unknown.stop_reason(), Some(StopReason::Conflicts));
+        assert_eq!(unknown.model(), None);
+        assert_eq!(unknown.into_model(), None);
     }
 }

@@ -5,7 +5,9 @@
 #                    workloads at --jobs 1/2/4);
 #   BENCH_PR3.json — incremental-session sweep (rebuild-per-iteration vs
 #                    one persistent solver session across the backward
-#                    fixed point, with session-reuse counters).
+#                    fixed point, with session-reuse counters);
+#   BENCH_PR4.json — budget-polling overhead probe (unlimited enumeration
+#                    vs a generous never-tripping budget + cancel token).
 #
 # Both binaries assert result equality between the compared configurations
 # before timing anything, so a successful run is also a determinism check.
@@ -18,10 +20,11 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline -p presat-bench
 ./target/release/thread_scaling BENCH_PR2.json
 ./target/release/reach_incremental BENCH_PR3.json
+./target/release/budget_overhead BENCH_PR4.json
 
 # Show how the checked-in numbers moved (informational; timings drift with
 # hardware, the structure should not).
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
-  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json || true
+  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json || true
 fi
 echo "bench: OK"

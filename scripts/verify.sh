@@ -21,4 +21,42 @@ PRESAT_TEST_INCREMENTAL=1 cargo test -q -p presat --test incremental --offline
 
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Lint gate: unordered float comparisons must use total_cmp, never
+# partial_cmp(..).expect(..) — NaN-poisoned activities once turned a sort
+# into a panic deep inside reduce_db.
+if grep -rn --include='*.rs' 'partial_cmp' crates src examples 2>/dev/null \
+    | grep '\.expect' | grep -v '/tests/'; then
+  echo "verify: FAIL — partial_cmp(..).expect in non-test code (use total_cmp)" >&2
+  exit 1
+fi
+
+# Anytime smoke test: a backward-reachability run on a 24-bit LFSR (cycle
+# length ~16M states, far beyond any 50 ms budget) must stop on the
+# deadline with exit code 0 and report "complete":false in the stats JSON
+# — never hang, crash, or claim a converged fixed point.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+{
+  echo "# 24-bit LFSR (taps 24,23,22,17) for the anytime smoke test"
+  echo "OUTPUT(z)"
+  echo "x0 = XOR(s23, s22)"
+  echo "x1 = XOR(s21, s16)"
+  echo "fb = XOR(x0, x1)"
+  echo "s0 = DFF(fb)"
+  for j in $(seq 1 23); do echo "s$j = DFF(s$((j-1)))"; done
+  echo "z = BUF(s0)"
+} > "$smoke_dir/lfsr24.bench"
+smoke_out="$(timeout 30 ./target/release/presat reach "$smoke_dir/lfsr24.bench" \
+  --target 1 --timeout-ms 50 --stats)"
+if ! printf '%s\n' "$smoke_out" | grep -q '"complete":false'; then
+  echo "verify: FAIL — budgeted reach did not report \"complete\":false" >&2
+  printf '%s\n' "$smoke_out" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$smoke_out" | grep -q '"stop_reason":"deadline"'; then
+  echo "verify: FAIL — budgeted reach did not report the deadline stop" >&2
+  printf '%s\n' "$smoke_out" >&2
+  exit 1
+fi
+
 echo "verify: OK"

@@ -27,22 +27,27 @@
 //! iteration. The report is bit-identical either way.
 //! `--stats` appends one JSON object with the run's counters (SAT,
 //! all-SAT, and preimage layers) to stdout — see `presat_obs::Stats`.
+//! `--timeout-ms <n>` / `--conflict-budget <n>` bound `solve`, `allsat`,
+//! and `reach`; `--max-solutions <n>` bounds `allsat`. A run that trips a
+//! limit stops with a *partial but sound* result flagged
+//! `"complete":false` (plus a `stop_reason`) in the stats JSON — `solve`
+//! then prints `s UNKNOWN` (exit 0) rather than lying about UNSAT.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use presat::allsat::{
-    AllSatEngine, AllSatProblem, BlockingAllSat, MinimizedBlockingAllSat, ParallelAllSat,
-    SuccessDrivenAllSat,
+    AllSatEngine, AllSatProblem, BlockingAllSat, EnumLimits, MinimizedBlockingAllSat,
+    ParallelAllSat, SuccessDrivenAllSat,
 };
 use presat::circuit::{aiger, bench, Circuit};
 use presat::logic::{dimacs, Var};
-use presat::obs::{Stats, Timer};
+use presat::obs::{NullSink, Stats, Timer};
 use presat::preimage::{
     backward_reach, bdd_image, justify, sat_image, BddPreimage, PreimageEngine, ReachOptions,
     SatPreimage, StateSet,
 };
-use presat::sat::{SolveResult, Solver};
+use presat::sat::{Budget, SolveResult, Solver};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -100,6 +105,11 @@ fn print_usage() {
          \x20        --jobs <n>  success-driven worker threads (0 = auto,\n\
          \x20                    default 1; the result is bit-identical at\n\
          \x20                    every thread count)\n\
+         \x20        --timeout-ms <n>       wall-clock budget (solve/allsat/reach);\n\
+         \x20                    on expiry the run stops with a partial result\n\
+         \x20                    flagged incomplete, never a fake UNSAT\n\
+         \x20        --conflict-budget <n>  CDCL conflict budget (solve/allsat/reach)\n\
+         \x20        --max-solutions <n>    stop allsat after ~n solutions\n\
          \x20        --stats   (emit a JSON counters object on stdout)\n\
          spec:    a state bit pattern (42, 0b1010, 0x2a) or a cube `j=v,...`"
     );
@@ -182,6 +192,34 @@ fn load_circuit(path: &str) -> Result<Circuit, String> {
     Ok(circuit)
 }
 
+/// Parses the anytime flags shared by `solve`, `allsat`, and `reach`:
+/// `--timeout-ms <n>`, `--conflict-budget <n>`, `--max-solutions <n>`.
+/// A run that trips one of these stops early and reports a partial result
+/// flagged incomplete — it never claims UNSAT or a converged fixed point.
+fn limits_from_flags(args: &[String]) -> Result<EnumLimits, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(v) = flag_value(args, "--timeout-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| String::from("bad --timeout-ms (want milliseconds)"))?;
+        budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(v) = flag_value(args, "--conflict-budget") {
+        let n: u64 = v
+            .parse()
+            .map_err(|_| String::from("bad --conflict-budget (want a number)"))?;
+        budget = budget.with_conflicts(n);
+    }
+    let mut limits = EnumLimits::none().with_budget(budget);
+    if let Some(v) = flag_value(args, "--max-solutions") {
+        let n: u64 = v
+            .parse()
+            .map_err(|_| String::from("bad --max-solutions (want a number)"))?;
+        limits = limits.with_max_solutions(n);
+    }
+    Ok(limits)
+}
+
 /// Parses `--jobs <n>` (worker threads; `0` = auto, default `1`).
 fn jobs_from_flag(args: &[String]) -> Result<usize, String> {
     match flag_value(args, "--jobs") {
@@ -208,11 +246,17 @@ fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or("solve: missing DIMACS file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let cnf = dimacs::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let limits = limits_from_flags(args)?;
     let timer = Timer::start();
     let mut solver = Solver::from_cnf(&cnf);
+    solver.set_budget(limits.budget);
     let solved = solver.solve();
     if has_flag(args, "--stats") {
-        let mut stats = Stats::from_sat("cdcl", solver.stats());
+        let stop = match &solved {
+            SolveResult::Unknown(reason) => Some(*reason),
+            _ => None,
+        };
+        let mut stats = Stats::from_sat("cdcl", solver.stats()).with_stop(stop.is_none(), stop);
         stats.wall_time_ns = timer.elapsed_ns();
         println!("{}", stats.to_json());
     }
@@ -238,6 +282,12 @@ fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
             println!("s UNSATISFIABLE");
             Ok(ExitCode::from(20))
         }
+        SolveResult::Unknown(reason) => {
+            // Resource exhaustion is not a verdict: the formula may still
+            // be satisfiable, so neither SAT nor UNSAT may be claimed.
+            println!("s UNKNOWN ({})", reason.as_str());
+            Ok(ExitCode::SUCCESS)
+        }
     }
 }
 
@@ -259,16 +309,22 @@ fn cmd_allsat(args: &[String]) -> Result<ExitCode, String> {
     let problem = AllSatProblem::new(cnf, important.clone());
     let engine_name = flag_value(args, "--engine").unwrap_or("success-driven");
     let jobs = jobs_from_flag(args)?;
+    let limits = limits_from_flags(args)?;
     let timer = Timer::start();
     let result = match engine_name {
-        "blocking" => BlockingAllSat::new().enumerate(&problem),
-        "min-blocking" => MinimizedBlockingAllSat::new().enumerate(&problem),
-        "success-driven" if jobs == 1 => SuccessDrivenAllSat::new().enumerate(&problem),
-        "success-driven" => ParallelAllSat::new(jobs).enumerate(&problem),
+        "blocking" => BlockingAllSat::new().enumerate_limited(&problem, &limits, &mut NullSink),
+        "min-blocking" => {
+            MinimizedBlockingAllSat::new().enumerate_limited(&problem, &limits, &mut NullSink)
+        }
+        "success-driven" if jobs == 1 => {
+            SuccessDrivenAllSat::new().enumerate_limited(&problem, &limits, &mut NullSink)
+        }
+        "success-driven" => ParallelAllSat::new(jobs).enumerate_limited(&problem, &limits, &mut NullSink),
         other => return Err(format!("unknown engine {other:?}")),
     };
     if has_flag(args, "--stats") {
-        let mut stats = Stats::from_allsat(engine_name, &result.stats);
+        let mut stats = Stats::from_allsat(engine_name, &result.stats)
+            .with_stop(result.complete, result.stop_reason);
         stats.wall_time_ns = timer.elapsed_ns();
         println!("{}", stats.to_json());
     }
@@ -279,6 +335,12 @@ fn cmd_allsat(args: &[String]) -> Result<ExitCode, String> {
         k,
         result.stats
     );
+    if let Some(reason) = result.stop_reason {
+        println!(
+            "c INCOMPLETE: stopped by {} — the cubes below are a sound partial enumeration",
+            reason.as_str()
+        );
+    }
     for cube in &result.cubes {
         let mut row = String::new();
         for &l in cube.lits() {
@@ -370,6 +432,9 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
         return Err("reach: --incremental and --no-incremental are mutually exclusive".into());
     }
     let engine = sat_engine_from_flag(args)?;
+    // --timeout-ms / --conflict-budget bound the whole fixed point (the
+    // total budget); --max-solutions does not apply to reach.
+    let limits = limits_from_flags(args)?;
     let report = backward_reach(
         engine.as_ref(),
         &circuit,
@@ -380,22 +445,33 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
             // the rebuild-per-iteration escape hatch. Results are
             // bit-identical either way.
             incremental: !has_flag(args, "--no-incremental"),
+            total_budget: limits.budget,
             ..ReachOptions::default()
         },
     );
     if has_flag(args, "--stats") {
         println!(
             "{}",
-            Stats::from_preimage(engine.name(), &report.stats).to_json()
+            Stats::from_preimage(engine.name(), &report.stats)
+                .with_stop(report.complete, report.stop_reason)
+                .to_json()
         );
     }
     println!(
-        "{}: {} iterations, {} backward-reachable states, converged={}",
+        "{}: {} iterations, {} backward-reachable states, converged={}, complete={}",
         engine.name(),
         report.iterations.len(),
         report.reached_states,
-        report.converged
+        report.converged,
+        report.complete
     );
+    if let Some(reason) = report.stop_reason {
+        println!(
+            "  INCOMPLETE: stopped by {} — every state below is verified backward-reachable,\n\
+             \x20 but deeper predecessors may exist",
+            reason.as_str()
+        );
+    }
     for row in &report.iterations {
         println!(
             "  iter {:>3}: +{} states (total {}) in {:.2?}",

@@ -65,6 +65,7 @@ fn solver_agrees_with_truth_table() {
                 assert!(cnf.is_satisfied_by(&model), "case {case}: bogus model");
             }
             SolveResult::Unsat => assert!(!expected, "case {case}: solver UNSAT but oracle SAT"),
+            SolveResult::Unknown(r) => panic!("case {case}: unbudgeted solve returned {r:?}"),
         }
     }
 }
