@@ -1,0 +1,650 @@
+//! Propagation-throughput probe (table R8 of `EXPERIMENTS.md`): the flat
+//! `u32` clause arena vs. the pre-arena Vec-of-Vec clause store, measured
+//! on pure BCP sweeps through [`Solver::propagate_under`]. Written as
+//! `BENCH_PR5.json`:
+//!
+//! ```text
+//! cargo run --release -p presat-bench --bin propagation_throughput [out.json]
+//! ```
+//!
+//! The baseline is an in-binary replica of the solver's watcher algorithm
+//! (same blocker fast path, same binary shortcut, same replacement-watch
+//! scan, same propagation counting) whose only difference is the clause
+//! store: one `Vec<Lit>` heap allocation per clause behind a clause index,
+//! exactly the layout the arena replaced. Every probe is first run through
+//! both engines and the results (implied assignment or conflict) and
+//! propagation counts are asserted identical, so the timed sweeps compare
+//! equal work and the run doubles as a determinism check.
+//!
+//! Memory is reported alongside: the solver's resident arena bytes (the
+//! `arena_bytes` stats gauge) vs. the byte-accounted Vec-of-Vec store
+//! (per-clause struct + each `Vec<Lit>` buffer).
+
+use presat_bench::harness::{fmt_duration, measure};
+use presat_logic::rng::SplitMix64;
+use presat_logic::{Assignment, Cnf, Lit, Var};
+use presat_obs::json::JsonObject;
+use presat_sat::Solver;
+
+fn samples() -> usize {
+    std::env::var("PRESAT_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+// ---------------------------------------------------------------------------
+// Vec-of-Vec baseline: the clause layout the flat arena replaced.
+// ---------------------------------------------------------------------------
+
+/// One heap-allocated clause, with the same per-clause metadata the old
+/// `Clause` struct carried. The extra fields are never read here (pure BCP
+/// needs none of them) but they must exist so `size_of::<BoxedClause>()`
+/// charges the baseline the footprint it actually had.
+#[allow(dead_code)]
+#[derive(Clone)]
+struct BoxedClause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    lbd: u32,
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Val {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    cref: usize,
+    blocker: Lit,
+    binary: bool,
+}
+
+/// A unit-propagation-only replica of the solver over the boxed store:
+/// identical two-watched-literal scheme, identical counting, and the same
+/// per-enqueue bookkeeping (level, reason slot) and per-backtrack work
+/// (phase save, reason clear) the solver pays — so the only variable left
+/// between the timed engines is the clause memory layout.
+#[derive(Clone)]
+struct VecVecBcp {
+    clauses: Vec<BoxedClause>,
+    /// Indexed by `lit.code()`: watchers triggered when `lit` is assigned.
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<Val>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<usize>>,
+    phase: Vec<bool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    propagations: u64,
+}
+
+impl VecVecBcp {
+    fn from_cnf(cnf: &Cnf) -> Self {
+        let n = cnf.num_vars();
+        let mut s = VecVecBcp {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * n],
+            assigns: vec![Val::Undef; n],
+            levels: vec![0; n],
+            reasons: vec![None; n],
+            phase: vec![false; n],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            propagations: 0,
+        };
+        for clause in cnf.clauses() {
+            let lits: Vec<Lit> = clause.to_vec();
+            assert!(lits.len() >= 2, "workload clauses are all non-unit");
+            let cref = s.clauses.len();
+            let (l0, l1, binary) = (lits[0], lits[1], lits.len() == 2);
+            s.watches[(!l0).code()].push(Watcher {
+                cref,
+                blocker: l1,
+                binary,
+            });
+            s.watches[(!l1).code()].push(Watcher {
+                cref,
+                blocker: l0,
+                binary,
+            });
+            s.clauses.push(BoxedClause {
+                lits,
+                learnt: false,
+                lbd: 0,
+                activity: 0.0,
+                deleted: false,
+            });
+        }
+        s
+    }
+
+    /// Retirement the way the pre-arena store did it: set the tombstone
+    /// flag and keep the literal buffer allocated forever (the old
+    /// `ClauseDb` never compacted — "tombstones keep `ClauseRef`s
+    /// stable"). Watchers are pruned lazily on the next visit, also as
+    /// before.
+    fn tombstone(&mut self, cref: usize) {
+        self.clauses[cref].deleted = true;
+    }
+
+    /// Resident bytes of the clause store: the boxed-clause structs plus
+    /// every per-clause literal buffer.
+    fn clause_store_bytes(&self) -> u64 {
+        let structs = self.clauses.capacity() * std::mem::size_of::<BoxedClause>();
+        let buffers: usize = self
+            .clauses
+            .iter()
+            .map(|c| c.lits.capacity() * std::mem::size_of::<Lit>())
+            .sum();
+        (structs + buffers) as u64
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> Val {
+        match self.assigns[l.var().index()] {
+            Val::Undef => Val::Undef,
+            Val::True => {
+                if l.is_pos() {
+                    Val::True
+                } else {
+                    Val::False
+                }
+            }
+            Val::False => {
+                if l.is_pos() {
+                    Val::False
+                } else {
+                    Val::True
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) {
+        debug_assert!(self.lit_value(lit) == Val::Undef);
+        let v = lit.var().index();
+        self.assigns[v] = if lit.is_pos() { Val::True } else { Val::False };
+        self.levels[v] = self.trail_lim.len() as u32;
+        self.reasons[v] = reason;
+        self.trail.push(lit);
+    }
+
+    /// The solver's `propagate`, line for line, over the boxed store;
+    /// returns `true` on conflict.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == Val::True {
+                    i += 1;
+                    continue;
+                }
+                if w.binary {
+                    if self.lit_value(w.blocker) == Val::False {
+                        self.watches[p.code()] = ws;
+                        self.qhead = self.trail.len();
+                        return true;
+                    }
+                    self.enqueue(w.blocker, Some(w.cref));
+                    i += 1;
+                    continue;
+                }
+                if self.clauses[w.cref].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                let false_lit = !p;
+                if self.clauses[w.cref].lits[0] == false_lit {
+                    self.clauses[w.cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[w.cref].lits[1], false_lit);
+                let first = self.clauses[w.cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == Val::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                let mut replaced = false;
+                for k in 2..self.clauses[w.cref].lits.len() {
+                    let lk = self.clauses[w.cref].lits[k];
+                    if self.lit_value(lk) != Val::False {
+                        self.clauses[w.cref].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                            binary: false,
+                        });
+                        ws.swap_remove(i);
+                        replaced = true;
+                        break;
+                    }
+                }
+                if replaced {
+                    continue;
+                }
+                if self.lit_value(first) == Val::False {
+                    self.watches[p.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return true;
+                }
+                self.enqueue(first, Some(w.cref));
+                i += 1;
+            }
+            self.watches[p.code()] = ws;
+        }
+        false
+    }
+
+    /// Mirrors [`Solver::propagate_under`]: propagate each assumption at
+    /// its own decision level, return the implied assignment or `None` on
+    /// conflict, then backtrack to the (empty — the workloads have no
+    /// level-0 units) root trail with the solver's per-literal unwind work.
+    fn propagate_under(&mut self, assumptions: &[Lit]) -> Option<Assignment> {
+        let mut failed = false;
+        for &p in assumptions {
+            match self.lit_value(p) {
+                Val::True => continue,
+                Val::False => {
+                    failed = true;
+                    break;
+                }
+                Val::Undef => {
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(p, None);
+                    if self.propagate() {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let result = if failed {
+            None
+        } else {
+            let mut a = Assignment::new(self.assigns.len());
+            for (i, &v) in self.assigns.iter().enumerate() {
+                match v {
+                    Val::True => a.assign(Var::new(i), true),
+                    Val::False => a.assign(Var::new(i), false),
+                    Val::Undef => {}
+                }
+            }
+            Some(a)
+        };
+        for idx in (0..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let v = lit.var().index();
+            self.phase[v] = lit.is_pos();
+            self.assigns[v] = Val::Undef;
+            self.reasons[v] = None;
+        }
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.qhead = 0;
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workloads: pure-BCP formulas with seeded probe sets.
+// ---------------------------------------------------------------------------
+
+struct Workload {
+    label: &'static str,
+    cnf: Cnf,
+    probes: Vec<Vec<Lit>>,
+}
+
+/// A ternary implication chain `(¬x_i ∨ ¬g ∨ x_{i+1})` behind one guard:
+/// each probe `[g, x_s]` walks the tail of the chain one unit propagation
+/// (one arena visit) per link. No binary shortcut applies, so every
+/// propagation touches clause memory.
+fn chain3(links: usize, probes: usize) -> Workload {
+    let guard = Var::new(links);
+    let mut cnf = Cnf::new(links + 1);
+    for i in 0..links - 1 {
+        cnf.add_clause(vec![
+            Lit::neg(Var::new(i)),
+            Lit::neg(guard),
+            Lit::pos(Var::new(i + 1)),
+        ]);
+    }
+    let probes = (0..probes)
+        .map(|k| {
+            let start = (k * 97) % (links / 2);
+            vec![Lit::pos(guard), Lit::pos(Var::new(start))]
+        })
+        .collect();
+    Workload {
+        label: "chain3",
+        cnf,
+        probes,
+    }
+}
+
+/// Random 3-SAT (distinct variables per clause) with wider random probe
+/// assumptions; some probes cascade, some conflict, and both engines must
+/// agree on each. Exercises scattered watch lists rather than one long
+/// chain.
+fn rand3(vars: usize, clauses: usize, probes: usize, probe_width: usize, seed: u64) -> Workload {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let distinct = |rng: &mut SplitMix64, k: usize| {
+        let mut vs: Vec<usize> = Vec::with_capacity(k);
+        while vs.len() < k {
+            let v = rng.gen_range(0..vars);
+            if !vs.contains(&v) {
+                vs.push(v);
+            }
+        }
+        vs
+    };
+    let mut cnf = Cnf::new(vars);
+    for _ in 0..clauses {
+        let vs = distinct(&mut rng, 3);
+        cnf.add_clause(
+            vs.iter()
+                .map(|&v| Lit::with_phase(Var::new(v), rng.gen_bool(0.5)))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let probes = (0..probes)
+        .map(|_| {
+            let vs = distinct(&mut rng, probe_width);
+            vs.iter()
+                .map(|&v| Lit::with_phase(Var::new(v), rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect();
+    Workload {
+        label: "rand3",
+        cnf,
+        probes,
+    }
+}
+
+/// A width-7 implication chain `(¬x_i ∨ ¬g_0 ∨ … ∨ ¬g_4 ∨ x_{i+1})`: with
+/// all five guards assumed, every propagation scans past five falsified
+/// literals looking for a replacement watch — the literal-scan loop where
+/// contiguous clause memory matters most.
+fn wide7(links: usize, probes: usize) -> Workload {
+    let guards: Vec<Var> = (links..links + 5).map(Var::new).collect();
+    let mut cnf = Cnf::new(links + 5);
+    for i in 0..links - 1 {
+        let mut c = vec![Lit::neg(Var::new(i))];
+        c.extend(guards.iter().map(|&g| Lit::neg(g)));
+        c.push(Lit::pos(Var::new(i + 1)));
+        cnf.add_clause(c);
+    }
+    let probes = (0..probes)
+        .map(|k| {
+            let start = (k * 131) % (links / 2);
+            let mut p: Vec<Lit> = guards.iter().map(|&g| Lit::pos(g)).collect();
+            p.push(Lit::pos(Var::new(start)));
+            p
+        })
+        .collect();
+    Workload {
+        label: "wide7",
+        cnf,
+        probes,
+    }
+}
+
+/// The deep-incremental-session workload: a shuffled ternary chain
+/// (content) interleaved with activation-tagged junk clause groups that
+/// are all retired before probing — the shape of a backward fixed point
+/// after many iterations. The solver garbage-collects the retired groups
+/// into a dense arena; the pre-arena store (faithfully) keeps every
+/// tombstoned buffer, so its surviving clauses stay scattered across a
+/// many-times-larger heap.
+struct ChurnSetup {
+    flat: Solver,
+    vecvec: VecVecBcp,
+    probes: Vec<Vec<Lit>>,
+    /// Probe results are compared on these variables only (the retired
+    /// groups' activation units exist only on the solver side).
+    content_vars: usize,
+}
+
+fn churn(links: usize, junk_per_content: usize, groups: usize, probes: usize, seed: u64) -> ChurnSetup {
+    let guard = Var::new(links);
+    let content_vars = links + 1;
+    let junk_pool = 4000;
+    let act_start = content_vars + junk_pool;
+    let mut rng = SplitMix64::seed_from_u64(seed);
+
+    // Content clauses in shuffled allocation order: in a live session,
+    // allocation order (groups and learnts arriving over time) does not
+    // match propagation order, so a layout must not rely on it.
+    let mut content: Vec<Vec<Lit>> = (0..links - 1)
+        .map(|i| {
+            vec![
+                Lit::neg(Var::new(i)),
+                Lit::neg(guard),
+                Lit::pos(Var::new(i + 1)),
+            ]
+        })
+        .collect();
+    rng.shuffle(&mut content);
+
+    let n_junk = (links - 1) * junk_per_content;
+    let mut cnf = Cnf::new(act_start + groups);
+    let mut junk_indices = Vec::with_capacity(n_junk);
+    let mut j = 0usize;
+    for c in content {
+        cnf.add_clause(c);
+        for _ in 0..junk_per_content {
+            // Groups are contiguous in junk order — retired oldest-first,
+            // like session iterations.
+            let act = Var::new(act_start + j * groups / n_junk);
+            let mut lits = vec![Lit::neg(act)];
+            while lits.len() < 4 {
+                let v = Var::new(content_vars + rng.gen_range(0..junk_pool));
+                let l = Lit::with_phase(v, rng.gen_bool(0.5));
+                if !lits.contains(&l) && !lits.contains(&!l) {
+                    lits.push(l);
+                }
+            }
+            junk_indices.push(cnf.clauses().len());
+            cnf.add_clause(lits);
+            j += 1;
+        }
+    }
+
+    let mut flat = Solver::from_cnf(&cnf);
+    for g in 0..groups {
+        flat.retire_group(Lit::pos(Var::new(act_start + g)));
+    }
+    let mut vecvec = VecVecBcp::from_cnf(&cnf);
+    for &ci in &junk_indices {
+        vecvec.tombstone(ci);
+    }
+
+    let probes = (0..probes)
+        .map(|k| {
+            let start = (k * 977) % (links / 2);
+            vec![Lit::pos(guard), Lit::pos(Var::new(start))]
+        })
+        .collect();
+    ChurnSetup {
+        flat,
+        vecvec,
+        probes,
+        content_vars,
+    }
+}
+
+/// Probe-outcome agreement on the first `content_vars` variables: same
+/// conflict verdict, same implied value per variable.
+fn assert_agree(label: &str, content_vars: usize, a: &Option<Assignment>, b: &Option<Assignment>) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            for i in 0..content_vars {
+                let v = Var::new(i);
+                assert_eq!(
+                    a.value(v),
+                    b.value(v),
+                    "{label}: engines imply different values for x{i}"
+                );
+            }
+        }
+        _ => panic!("{label}: engines disagree on probe outcome"),
+    }
+}
+
+/// Gates on identical probe results and propagation counts, then times
+/// both engines' full probe sweeps and emits one JSON object. With
+/// `time_clones`, also times a worker clone of each engine (the solver's
+/// `clone_at_root` flat-buffer copy vs. one heap allocation per clause).
+#[allow(clippy::too_many_arguments)]
+fn bench_pair(
+    out: &mut JsonObject,
+    samples: usize,
+    label: &str,
+    flat: &mut Solver,
+    vecvec: &mut VecVecBcp,
+    probes: &[Vec<Lit>],
+    content_vars: usize,
+    time_clones: bool,
+) {
+    // Correctness + equal-work gate before any timing (doubles as the
+    // cache warm-up: first visits migrate watches identically in both).
+    let flat_props0 = flat.stats().propagations;
+    for probe in probes {
+        let a = flat.propagate_under(probe);
+        let b = vecvec.propagate_under(probe);
+        assert_agree(label, content_vars, &a, &b);
+    }
+    let flat_props = flat.stats().propagations - flat_props0;
+    assert_eq!(
+        flat_props, vecvec.propagations,
+        "{label}: engines count different propagation work"
+    );
+
+    let flat_m = measure(samples, || {
+        for probe in probes {
+            flat.propagate_under(probe);
+        }
+    });
+    let vecvec_m = measure(samples, || {
+        for probe in probes {
+            vecvec.propagate_under(probe);
+        }
+    });
+    let flat_ns = flat_m.median.as_nanos() as u64;
+    let vecvec_ns = vecvec_m.median.as_nanos() as u64;
+    let props_per_sec = |ns: u64| {
+        if ns == 0 {
+            0.0
+        } else {
+            flat_props as f64 * 1e9 / ns as f64
+        }
+    };
+    let speedup = if flat_ns == 0 {
+        0.0
+    } else {
+        vecvec_ns as f64 / flat_ns as f64
+    };
+    let flat_bytes = flat.arena_bytes() as u64;
+    let vecvec_bytes = vecvec.clause_store_bytes();
+    println!(
+        "{:<8} flat {:>10}  vecvec {:>10}  speedup {:.3}x  {} props/sweep  arena {} B vs {} B",
+        label,
+        fmt_duration(flat_m.median),
+        fmt_duration(vecvec_m.median),
+        speedup,
+        flat_props,
+        flat_bytes,
+        vecvec_bytes,
+    );
+    out.begin_object(label);
+    out.field_u64("probes", probes.len() as u64);
+    out.field_u64("props_per_sweep", flat_props);
+    out.field_u64("flat_sweep_ns", flat_ns);
+    out.field_u64("vecvec_sweep_ns", vecvec_ns);
+    out.field_f64("flat_props_per_sec", props_per_sec(flat_ns).round());
+    out.field_f64("vecvec_props_per_sec", props_per_sec(vecvec_ns).round());
+    out.field_f64("speedup_ratio", (speedup * 1000.0).round() / 1000.0);
+    out.field_u64("flat_arena_bytes", flat_bytes);
+    out.field_u64("vecvec_clause_bytes", vecvec_bytes);
+    if time_clones {
+        let flat_clone = measure(samples, || flat.clone_at_root());
+        let vecvec_clone = measure(samples, || vecvec.clone());
+        let fc = flat_clone.median.as_nanos() as u64;
+        let vc = vecvec_clone.median.as_nanos() as u64;
+        let ratio = if fc == 0 { 0.0 } else { vc as f64 / fc as f64 };
+        println!(
+            "{:<8} clone: flat {:>10}  vecvec {:>10}  speedup {:.3}x",
+            label,
+            fmt_duration(flat_clone.median),
+            fmt_duration(vecvec_clone.median),
+            ratio,
+        );
+        out.field_u64("flat_clone_ns", fc);
+        out.field_u64("vecvec_clone_ns", vc);
+        out.field_f64("clone_speedup_ratio", (ratio * 1000.0).round() / 1000.0);
+    }
+    out.end_object();
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let samples = samples();
+    // Sized so the Vec-of-Vec clause store overflows a 2 MiB L2 cache
+    // while the arena stays inside it — the regime the arena is for.
+    let workloads = [
+        chain3(50_000, 24),
+        rand3(30_000, 100_000, 768, 20, 0xA11_501),
+        wide7(16_000, 24),
+    ];
+
+    let mut out = JsonObject::new();
+    out.field_u64("samples", samples as u64);
+    for w in &workloads {
+        let mut flat = Solver::from_cnf(&w.cnf);
+        let mut vecvec = VecVecBcp::from_cnf(&w.cnf);
+        let content_vars = w.cnf.num_vars();
+        bench_pair(
+            &mut out,
+            samples,
+            w.label,
+            &mut flat,
+            &mut vecvec,
+            &w.probes,
+            content_vars,
+            false,
+        );
+    }
+    let mut c = churn(60_000, 3, 40, 12, 0x05EE_D60C);
+    bench_pair(
+        &mut out,
+        samples,
+        "churn",
+        &mut c.flat,
+        &mut c.vecvec,
+        &c.probes,
+        c.content_vars,
+        true,
+    );
+    let json = out.finish();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

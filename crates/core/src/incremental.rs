@@ -105,6 +105,13 @@ pub struct IncrementalAllSat {
     residual: Option<ResidualIndex>,
     /// Clause count already covered by `residual`.
     indexed_clauses: usize,
+    /// Arena compactions (and clauses they reclaimed) that ran *between*
+    /// enumeration calls — `retire` triggers garbage collection after the
+    /// previous call's stats snapshot was taken. Folded into the next
+    /// call's snapshot exactly once, so per-call stats sum to session
+    /// totals.
+    pending_compactions: u64,
+    pending_reclaimed: u64,
 }
 
 impl IncrementalAllSat {
@@ -144,6 +151,8 @@ impl IncrementalAllSat {
             cache: HashMap::new(),
             residual,
             indexed_clauses,
+            pending_compactions: 0,
+            pending_reclaimed: 0,
         }
     }
 
@@ -169,7 +178,12 @@ impl IncrementalAllSat {
     /// they drop out of every residual signature. Returns the number of
     /// clauses collected.
     pub fn retire(&mut self, act: Lit) -> u64 {
-        self.solver.retire_group(act)
+        let before = *self.solver.stats();
+        let removed = self.solver.retire_group(act);
+        let after = self.solver.stats();
+        self.pending_compactions += after.db_compactions - before.db_compactions;
+        self.pending_reclaimed += after.clauses_reclaimed - before.clauses_reclaimed;
+        removed
     }
 
     /// Number of live learnt clauses currently carried by the persistent
@@ -299,6 +313,12 @@ impl IncrementalAllSat {
                 sink.record(&Event::BudgetStop { reason });
             }
         }
+        // Attribute between-call garbage collection (from `retire`) to
+        // this call's snapshot, exactly once.
+        stats.sat.db_compactions += self.pending_compactions;
+        stats.sat.clauses_reclaimed += self.pending_reclaimed;
+        self.pending_compactions = 0;
+        self.pending_reclaimed = 0;
         stats.graph_nodes = self.graph.reachable_count(root) as u64;
         let cubes = self.graph.to_cube_set(root, &self.important);
         stats.cubes_emitted = cubes.len() as u64;

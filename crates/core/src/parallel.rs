@@ -330,7 +330,10 @@ pub(crate) fn enumerate_partitioned(
 /// One worker: pulls cube indices from the shared counter until the queue
 /// is dry, enumerating each with persistent per-worker state (a solver
 /// clone, the signature indices, one solution graph, one signature cache)
-/// so later cubes benefit from everything earlier cubes learnt.
+/// so later cubes benefit from everything earlier cubes learnt. The clone
+/// is cheap — the flat clause arena copies as one contiguous buffer, not
+/// one allocation per clause (table R8) — so spawning workers stays
+/// O(bytes) even when the template carries a large warm session database.
 ///
 /// The worker carries its own remaining counter budget across cubes
 /// (`solver.reset_stats()` per cube makes per-call budgets, so the residue

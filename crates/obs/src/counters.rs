@@ -32,10 +32,18 @@ pub struct SatCounters {
     pub deleted_clauses: u64,
     /// Number of problem (non-learnt) clauses added.
     pub problem_clauses: u64,
+    /// High-water resident size of the flat clause arena in bytes (a gauge,
+    /// not a rate: absorbing snapshots takes the maximum).
+    pub arena_bytes: u64,
+    /// Garbage-collecting compactions of the clause arena.
+    pub db_compactions: u64,
+    /// Tombstoned clauses whose arena storage a compaction reclaimed.
+    pub clauses_reclaimed: u64,
 }
 
 impl SatCounters {
-    /// Accumulates another snapshot into this one (all fields additive).
+    /// Accumulates another snapshot into this one (work counters additive;
+    /// the `arena_bytes` gauge takes the maximum).
     pub fn absorb(&mut self, other: &SatCounters) {
         self.solves += other.solves;
         self.decisions += other.decisions;
@@ -46,6 +54,9 @@ impl SatCounters {
         self.learnt_clauses += other.learnt_clauses;
         self.deleted_clauses += other.deleted_clauses;
         self.problem_clauses += other.problem_clauses;
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.db_compactions += other.db_compactions;
+        self.clauses_reclaimed += other.clauses_reclaimed;
     }
 }
 
@@ -171,6 +182,9 @@ pub struct PreimageCounters {
     /// Activation literals allocated for per-iteration clause groups
     /// (incremental sessions).
     pub activation_lits: u64,
+    /// Next-state cones skipped by the cone-of-influence reduction because
+    /// the target's support never reaches them (single-step SAT encodings).
+    pub cones_skipped: u64,
     /// Full counter snapshot of the underlying all-SAT layer (SAT engines).
     pub allsat: AllSatCounters,
 }
@@ -194,6 +208,7 @@ impl PreimageCounters {
         self.encodings_reused += other.encodings_reused;
         self.learnts_carried += other.learnts_carried;
         self.activation_lits += other.activation_lits;
+        self.cones_skipped += other.cones_skipped;
         self.allsat.absorb(&other.allsat);
     }
 }
@@ -226,6 +241,26 @@ mod tests {
         assert_eq!(a.sat, SatCounters::default());
         let p = PreimageCounters::default();
         assert_eq!(p.iterations + p.wall_time_ns, 0);
+    }
+
+    #[test]
+    fn absorb_treats_arena_bytes_as_a_gauge() {
+        let mut a = SatCounters {
+            arena_bytes: 100,
+            db_compactions: 1,
+            clauses_reclaimed: 3,
+            ..SatCounters::default()
+        };
+        let b = SatCounters {
+            arena_bytes: 40,
+            db_compactions: 2,
+            clauses_reclaimed: 5,
+            ..SatCounters::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.arena_bytes, 100, "gauge takes the max, not the sum");
+        assert_eq!(a.db_compactions, 3);
+        assert_eq!(a.clauses_reclaimed, 8);
     }
 
     #[test]

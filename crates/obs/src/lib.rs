@@ -137,6 +137,9 @@ impl Stats {
             .field_u64("learnt_clauses", self.sat.learnt_clauses)
             .field_u64("deleted_clauses", self.sat.deleted_clauses)
             .field_u64("problem_clauses", self.sat.problem_clauses)
+            .field_u64("arena_bytes", self.sat.arena_bytes)
+            .field_u64("db_compactions", self.sat.db_compactions)
+            .field_u64("clauses_reclaimed", self.sat.clauses_reclaimed)
             .end_object();
         o.begin_object("allsat")
             .field_u64("solver_calls", self.allsat.solver_calls)
@@ -163,6 +166,7 @@ impl Stats {
             .field_u64("encodings_reused", self.preimage.encodings_reused)
             .field_u64("learnts_carried", self.preimage.learnts_carried)
             .field_u64("activation_lits", self.preimage.activation_lits)
+            .field_u64("cones_skipped", self.preimage.cones_skipped)
             .end_object();
         o.finish()
     }
@@ -179,6 +183,9 @@ impl Stats {
             "sat_conflicts",
             "sat_restarts",
             "sat_learnt_clauses",
+            "sat_arena_bytes",
+            "sat_db_compactions",
+            "sat_clauses_reclaimed",
             "allsat_solver_calls",
             "allsat_solutions",
             "allsat_blocking_clauses",
@@ -195,6 +202,7 @@ impl Stats {
             "preimage_encodings_reused",
             "preimage_learnts_carried",
             "preimage_activation_lits",
+            "preimage_cones_skipped",
             "complete",
         ])
     }
@@ -210,6 +218,9 @@ impl Stats {
             self.sat.conflicts,
             self.sat.restarts,
             self.sat.learnt_clauses,
+            self.sat.arena_bytes,
+            self.sat.db_compactions,
+            self.sat.clauses_reclaimed,
             self.allsat.solver_calls,
             self.allsat.cubes_emitted,
             self.allsat.blocking_clauses,
@@ -226,6 +237,7 @@ impl Stats {
             self.preimage.encodings_reused,
             self.preimage.learnts_carried,
             self.preimage.activation_lits,
+            self.preimage.cones_skipped,
             u64::from(self.complete),
         ];
         let mut fields = vec![csv::escape_field(&self.engine)];

@@ -1,6 +1,6 @@
 //! CNF encoding of one symbolic step under a target constraint.
 
-use presat_circuit::{Circuit, Tseitin};
+use presat_circuit::{cone, Circuit, Tseitin};
 use presat_logic::{Cnf, Lit, Var};
 
 use crate::state_set::StateSet;
@@ -37,6 +37,13 @@ pub struct StepEncoding {
     cnf: Cnf,
     num_latches: usize,
     num_inputs: usize,
+    /// Next-state cones left unencoded because no target cube constrains
+    /// their latch (cone-of-influence reduction).
+    cones_skipped: u64,
+    /// Present-state latch positions in the structural support of the
+    /// *encoded* cones: the only latches whose CNF variables any clause can
+    /// mention, hence the only positions a preimage cube can constrain.
+    support_latches: Vec<usize>,
 }
 
 impl StepEncoding {
@@ -91,26 +98,48 @@ impl StepEncoding {
         let base = Cnf::new(n + m);
         let mut enc = Tseitin::with_base_cnf(circuit.aig(), leaf_vars, base);
 
-        // Next-state function literals (encoded on demand per target cube
-        // support — here we encode all of them; cones outside the target's
-        // support cost clauses but not correctness; keep it simple and
-        // deterministic).
-        let next_lits: Vec<Lit> = (0..n).map(|j| enc.lit_of(circuit.latch_next(j))).collect();
+        // Cone-of-influence reduction: only latches some target cube
+        // actually constrains need their next-state cone Tseitin-encoded.
+        // An unconstrained cone's clauses would never imply anything about
+        // the important (state) variables — its Tseitin auxiliaries hang
+        // free — so skipping it leaves the projection onto state variables,
+        // and therefore the preimage, unchanged.
+        let cubes = target.cubes();
+        let mut needed = vec![false; n];
+        for cube in cubes {
+            for &l in cube.lits() {
+                let j = l.var().index();
+                assert!(j < n, "target cube mentions latch position {j} ≥ {n}");
+                needed[j] = true;
+            }
+        }
+        // Encoded in latch order, exactly as the encode-everything path
+        // did, so full-support targets produce an identical CNF.
+        let next_lits: Vec<Option<Lit>> = (0..n)
+            .map(|j| needed[j].then(|| enc.lit_of(circuit.latch_next(j))))
+            .collect();
+        let cones_skipped = next_lits.iter().filter(|l| l.is_none()).count() as u64;
+        let roots: Vec<_> = (0..n)
+            .filter(|&j| needed[j])
+            .map(|j| circuit.latch_next(j))
+            .collect();
+        // Leaf ordinals m..m+n are the latches (0..m are the inputs).
+        let support_latches: Vec<usize> = cone::support_many(circuit.aig(), &roots)
+            .into_iter()
+            .filter_map(|leaf| leaf.checked_sub(m))
+            .collect();
         let mut cnf = enc.into_cnf();
 
         // Impose T over the next-state literals.
-        let cubes = target.cubes();
+        let lit_of = |j: usize| {
+            next_lits[j].expect("cone of a target-constrained latch is encoded")
+        };
         if cubes.is_empty() {
             cnf.add_clause([]); // empty target: no predecessor exists
         } else if cubes.len() == 1 {
             for &l in cubes.cubes()[0].lits() {
                 let j = l.var().index();
-                assert!(j < n, "target cube mentions latch position {j} ≥ {n}");
-                cnf.add_unit(if l.is_pos() {
-                    next_lits[j]
-                } else {
-                    !next_lits[j]
-                });
+                cnf.add_unit(if l.is_pos() { lit_of(j) } else { !lit_of(j) });
             }
         } else {
             // One selector per cube: sel_c → cube_c; ∨ sel_c.
@@ -119,12 +148,7 @@ impl StepEncoding {
                 let sel = Lit::pos(cnf.fresh_var());
                 for &l in cube.lits() {
                     let j = l.var().index();
-                    assert!(j < n, "target cube mentions latch position {j} ≥ {n}");
-                    let yl = if l.is_pos() {
-                        next_lits[j]
-                    } else {
-                        !next_lits[j]
-                    };
+                    let yl = if l.is_pos() { lit_of(j) } else { !lit_of(j) };
                     cnf.add_clause([!sel, yl]);
                 }
                 selectors.push(sel);
@@ -136,6 +160,8 @@ impl StepEncoding {
             cnf,
             num_latches: n,
             num_inputs: m,
+            cones_skipped,
+            support_latches,
         }
     }
 
@@ -170,6 +196,17 @@ impl StepEncoding {
     /// Number of primary inputs of the encoded circuit.
     pub fn num_inputs(&self) -> usize {
         self.num_inputs
+    }
+
+    /// Next-state cones skipped by the cone-of-influence reduction.
+    pub fn cones_skipped(&self) -> u64 {
+        self.cones_skipped
+    }
+
+    /// Latch positions in the structural support of the encoded cones —
+    /// the only positions any preimage cube can constrain.
+    pub fn support_latches(&self) -> &[usize] {
+        &self.support_latches
     }
 }
 
@@ -485,5 +522,72 @@ mod tests {
         for bits in [0u64, 3, 5] {
             check_against_simulation(&c, &StateSet::from_state_bits(bits, 3));
         }
+    }
+
+    #[test]
+    fn coi_skips_unconstrained_cones_and_preserves_preimage() {
+        // A partial target over one latch of a 6-bit shift register leaves
+        // five cones out of the encoding.
+        let c = generators::shift_register(6);
+        let t = StateSet::from_partial(&[(2, true)]);
+        let enc = StepEncoding::build(&c, &t);
+        assert_eq!(enc.cones_skipped(), 5);
+        check_against_simulation(&c, &t);
+
+        // A full-state target skips nothing.
+        let full = StepEncoding::build(&c, &StateSet::from_state_bits(9, 6));
+        assert_eq!(full.cones_skipped(), 0);
+    }
+
+    #[test]
+    fn coi_support_latches_bound_what_clauses_can_mention() {
+        // shift register: next(j) = latch j-1 for j>0, next(0) = input —
+        // so targeting latch 2 supports exactly latch 1.
+        let c = generators::shift_register(6);
+        let enc = StepEncoding::build(&c, &StateSet::from_partial(&[(2, true)]));
+        assert_eq!(enc.support_latches(), &[1]);
+        // No clause mentions a state variable outside the support.
+        let n = enc.num_latches();
+        for clause in enc.cnf().clauses() {
+            for l in clause {
+                let v = l.var().index();
+                if v < n {
+                    assert!(
+                        enc.support_latches().contains(&v),
+                        "clause mentions unsupported latch {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coi_preimages_unchanged_on_every_embedded_family() {
+        // Partial targets exercise the skip path on both embedded
+        // netlists; the simulation check proves the preimage is intact.
+        let s27 = presat_circuit::embedded::s27().unwrap();
+        for j in 0..3 {
+            let t = StateSet::from_partial(&[(j, true)]);
+            let enc = StepEncoding::build(&s27, &t);
+            assert_eq!(enc.cones_skipped(), 2);
+            check_against_simulation(&s27, &t);
+        }
+        let ctl2 = presat_circuit::embedded::ctl2().unwrap();
+        for j in 0..2 {
+            let t = StateSet::from_partial(&[(j, false)]);
+            let enc = StepEncoding::build(&ctl2, &t);
+            assert_eq!(enc.cones_skipped(), 1);
+            check_against_simulation(&ctl2, &t);
+        }
+    }
+
+    #[test]
+    fn coi_multi_cube_targets_union_their_supports() {
+        let c = generators::shift_register(5);
+        let t = StateSet::from_partial(&[(1, true)]).union(&StateSet::from_partial(&[(3, false)]));
+        let enc = StepEncoding::build(&c, &t);
+        assert_eq!(enc.cones_skipped(), 3);
+        assert_eq!(enc.support_latches(), &[0, 2]);
+        check_against_simulation(&c, &t);
     }
 }

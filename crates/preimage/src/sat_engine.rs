@@ -166,6 +166,7 @@ impl PreimageEngine for SatPreimage {
         let timer = Timer::start();
         let enc = StepEncoding::build_with_env(circuit, target, self.env.as_ref());
         let state_vars = enc.state_vars();
+        let cones_skipped = enc.cones_skipped();
         let problem = AllSatProblem::new(enc.into_cnf(), state_vars);
         let result = match self.kind {
             SatEngineKind::Blocking => {
@@ -213,6 +214,7 @@ impl PreimageEngine for SatPreimage {
                 sat_conflicts: astats.sat_conflicts,
                 iterations: 1,
                 wall_time_ns,
+                cones_skipped,
                 allsat: astats,
                 ..PreimageStats::default()
             },
@@ -322,6 +324,25 @@ mod tests {
         for bits in 0..8u64 {
             check_all_engines(&c, &StateSet::from_state_bits(bits, 3));
         }
+    }
+
+    #[test]
+    fn coi_reduction_preserves_preimages_and_reports_skips() {
+        // Partial targets on both embedded netlists activate the
+        // cone-of-influence skip path in every engine; results must still
+        // match the oracle, and the skip count must surface in stats.
+        let s27 = presat_circuit::embedded::s27().unwrap();
+        for j in 0..3 {
+            check_all_engines(&s27, &StateSet::from_partial(&[(j, true)]));
+            check_all_engines(&s27, &StateSet::from_partial(&[(j, false)]));
+        }
+        let ctl2 = presat_circuit::embedded::ctl2().unwrap();
+        for j in 0..2 {
+            check_all_engines(&ctl2, &StateSet::from_partial(&[(j, true)]));
+        }
+        let pre = SatPreimage::success_driven()
+            .preimage(&s27, &StateSet::from_partial(&[(0, true)]));
+        assert_eq!(pre.stats.cones_skipped, 2, "two of three cones skipped");
     }
 
     #[test]

@@ -163,6 +163,10 @@ impl PreimageSession for SatPreimageSession {
                 encodings_reused,
                 learnts_carried,
                 activation_lits: 1,
+                // The session path encodes every cone once up front (the
+                // shared base must serve any future target), so COI
+                // skipping does not apply here.
+                cones_skipped: 0,
                 allsat: astats,
             },
             states,

@@ -26,6 +26,13 @@ const VAR_DECAY: f64 = 0.95;
 const CLAUSE_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
 const RESTART_BASE: u64 = 100;
+/// Compaction trigger: collect once at least this many arena words exist
+/// *and* the tombstoned share reaches [`GC_WASTE_DENOM`]⁻¹ of the arena.
+/// Small enough that the embedded test circuits actually exercise GC.
+const GC_MIN_WORDS: usize = 256;
+/// Wasted-words ratio denominator: collect when `wasted * 4 >= arena`,
+/// i.e. at 25% tombstoned storage.
+const GC_WASTE_DENOM: usize = 4;
 /// Wall-clock deadline polling stride: `Instant::now()` is checked once per
 /// this many conflicts (and once per this many decisions on the decision
 /// path) so unbudgeted and budgeted-but-not-expired runs never pay a
@@ -309,9 +316,10 @@ impl Solver {
                 self.ok = self.propagate().is_none();
                 self.ok
             }
-            _ => match self.db.alloc(simplified, false, 0) {
+            _ => match self.db.alloc(&simplified, false, 0) {
                 Ok(cref) => {
                     self.attach(cref);
+                    self.note_arena_size();
                     true
                 }
                 Err(_) => {
@@ -326,12 +334,26 @@ impl Solver {
         }
     }
 
+    /// Records the current arena size into the `arena_bytes` high-water
+    /// gauge. Called after allocations *and* at solve entry: enumeration
+    /// drivers reset stats per call, and a solve must still report the
+    /// resident arena it inherited.
+    #[inline]
+    fn note_arena_size(&mut self) {
+        let bytes = self.db.arena_bytes() as u64;
+        if bytes > self.stats.arena_bytes {
+            self.stats.arena_bytes = bytes;
+        }
+    }
+
     fn attach(&mut self, cref: ClauseRef) {
-        let (l0, l1, binary) = {
-            let c = self.db.get(cref);
-            debug_assert!(c.lits.len() >= 2);
-            (c.lits[0], c.lits[1], c.lits.len() == 2)
-        };
+        let m = self.db.meta(cref);
+        debug_assert!(m.len >= 2);
+        let (l0, l1, binary) = (
+            self.db.lit_at(m.start),
+            self.db.lit_at(m.start + 1),
+            m.len == 2,
+        );
         self.watches[(!l0).code()].push(Watcher {
             cref,
             blocker: l1,
@@ -385,20 +407,20 @@ impl Solver {
                     i += 1;
                     continue;
                 }
-                if self.db.get(w.cref).deleted {
+                // One header read serves the whole visit; literal words are
+                // addressed absolutely from `m.start` with no indirection.
+                let m = self.db.meta(w.cref);
+                if m.deleted {
                     ws.swap_remove(i);
                     continue;
                 }
                 let false_lit = !p;
                 // Normalize: watched false literal at position 1.
-                {
-                    let c = self.db.get_mut(w.cref);
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                if self.db.lit_at(m.start) == false_lit {
+                    self.db.swap_words(m.start, m.start + 1);
                 }
-                let first = self.db.get(w.cref).lits[0];
+                debug_assert_eq!(self.db.lit_at(m.start + 1), false_lit);
+                let first = self.db.lit_at(m.start);
                 if first != w.blocker && self.lit_value(first) == Lbool::True {
                     ws[i].blocker = first;
                     i += 1;
@@ -406,12 +428,10 @@ impl Solver {
                 }
                 // Look for a replacement watch.
                 let mut replaced = false;
-                let len = self.db.get(w.cref).lits.len();
-                for k in 2..len {
-                    let lk = self.db.get(w.cref).lits[k];
+                for k in 2..m.len {
+                    let lk = self.db.lit_at(m.start + k);
                     if self.lit_value(lk) != Lbool::False {
-                        let c = self.db.get_mut(w.cref);
-                        c.lits.swap(1, k);
+                        self.db.swap_words(m.start + 1, m.start + k);
                         self.watches[(!lk).code()].push(Watcher {
                             cref: w.cref,
                             blocker: first,
@@ -480,10 +500,9 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let inc = self.cla_inc;
-        let c = self.db.get_mut(cref);
-        c.activity += inc;
-        if c.activity > RESCALE_LIMIT {
+        let bumped = self.db.activity(cref) + self.cla_inc;
+        self.db.set_activity(cref, bumped);
+        if bumped > RESCALE_LIMIT {
             self.db.rescale_learnt_activity(1.0 / RESCALE_LIMIT);
             self.cla_inc *= 1.0 / RESCALE_LIMIT;
         }
@@ -499,14 +518,17 @@ impl Solver {
         let mut confl = conflict;
 
         loop {
-            if self.db.get(confl).learnt {
+            let m = self.db.meta(confl);
+            if m.learnt {
                 self.bump_clause(confl);
             }
             // Skip the implied literal of a reason clause by value, not by
             // position: the binary propagation fast path never normalizes
-            // the literal order, so it may sit at either index.
-            let clause_lits: Vec<Lit> = self.db.get(confl).lits.clone();
-            for q in clause_lits {
+            // the literal order, so it may sit at either index. Reading by
+            // index (no clause copy) is safe: `bump_var` never touches the
+            // arena.
+            for k in 0..m.len {
+                let q = self.db.lit_at(m.start + k);
                 if Some(q) == p {
                     continue;
                 }
@@ -596,8 +618,9 @@ impl Solver {
         };
         // The reason's implied literal (same variable as `lit`) is skipped
         // by variable, not by position — see the note in `analyze`.
-        self.db.get(reason).lits.iter().all(|&q| {
-            let qv = q.var().index();
+        let m = self.db.meta(reason);
+        (0..m.len).all(|k| {
+            let qv = self.db.lit_at(m.start + k).var().index();
             qv == v || self.seen[qv] || self.levels[qv] == 0
         })
     }
@@ -623,7 +646,9 @@ impl Solver {
                     self.core.push(x);
                 }
                 Some(r) => {
-                    for &q in &self.db.get(r).lits {
+                    let m = self.db.meta(r);
+                    for k in 0..m.len {
+                        let q = self.db.lit_at(m.start + k);
                         if q.var().index() != xv && self.levels[q.var().index()] > 0 {
                             self.seen[q.var().index()] = true;
                         }
@@ -642,10 +667,14 @@ impl Solver {
         let mut order: Vec<ClauseRef> = std::mem::take(&mut self.db.learnts);
         // Worst first: high LBD, then low activity. `total_cmp` keeps the
         // sort total even if an activity overflowed to infinity or became
-        // NaN before the rescale check could catch it.
+        // NaN before the rescale check could catch it. Activities round-trip
+        // through the arena as full `f64` bit patterns, so this order is
+        // identical to the boxed-clause representation's.
         order.sort_by(|&a, &b| {
-            let (ca, cb) = (self.db.get(a), self.db.get(b));
-            cb.lbd.cmp(&ca.lbd).then(ca.activity.total_cmp(&cb.activity))
+            self.db
+                .lbd(b)
+                .cmp(&self.db.lbd(a))
+                .then(self.db.activity(a).total_cmp(&self.db.activity(b)))
         });
         let target = order.len() / 2;
         let mut removed = 0;
@@ -653,8 +682,11 @@ impl Solver {
             if removed >= target {
                 break;
             }
-            let c = self.db.get(cref);
-            if c.deleted || c.lbd <= 2 || c.lits.len() <= 2 || self.is_locked(cref) {
+            if self.db.is_deleted(cref)
+                || self.db.lbd(cref) <= 2
+                || self.db.len_of(cref) <= 2
+                || self.is_locked(cref)
+            {
                 continue;
             }
             self.db.delete(cref);
@@ -664,11 +696,64 @@ impl Solver {
         self.db.learnts = order;
         self.db.sweep_learnt_index();
         self.stats.learnt_clauses = self.db.live_learnts() as u64;
+        self.maybe_collect_garbage();
     }
 
     fn is_locked(&self, cref: ClauseRef) -> bool {
-        let first = self.db.get(cref).lits[0];
+        let first = self.db.lit(cref, 0);
         self.lit_value(first) == Lbool::True && self.reasons[first.var().index()] == Some(cref)
+    }
+
+    /// Compacts the clause arena if tombstones hold a quarter or more of
+    /// it (and it is big enough to bother). Safe at any decision level:
+    /// `propagate` always restores the watch list it borrowed before
+    /// returning, so every outstanding `ClauseRef` lives in `watches`,
+    /// `reasons`, or `db.learnts` — all rewired here.
+    fn maybe_collect_garbage(&mut self) {
+        let words = self.db.arena_words();
+        if words >= GC_MIN_WORDS && self.db.wasted_words() * GC_WASTE_DENOM >= words {
+            self.collect_garbage();
+        }
+    }
+
+    /// Copies live clauses into a fresh arena and rewires every stored
+    /// `ClauseRef` (watch lists, reason slots, learnt index).
+    fn collect_garbage(&mut self) {
+        self.db.sweep_learnt_index();
+        let map = self.db.compact();
+        for ws in &mut self.watches {
+            // `retain_mut` keeps watcher order, so propagation visits
+            // clauses in exactly the pre-collection order — GC stays
+            // behaviourally invisible to the search.
+            ws.retain_mut(|w| match map.remap(w.cref) {
+                Some(new) => {
+                    w.cref = new;
+                    true
+                }
+                None => false,
+            });
+        }
+        for (v, slot) in self.reasons.iter_mut().enumerate() {
+            if slot.is_none() {
+                continue;
+            }
+            if self.assigns[v].is_undef() || self.levels[v] == 0 {
+                // Level-0 / retracted reason slots are never consulted
+                // (analysis only follows literals above level 0), so drop
+                // them rather than keep a ref to a possibly-dead clause.
+                *slot = None;
+            } else {
+                // An assigned variable above level 0 has a *locked* reason
+                // clause; locked clauses are never deleted, so remap always
+                // succeeds.
+                *slot = Some(
+                    map.remap(slot.expect("checked above"))
+                        .expect("reason of an assigned variable must be live"),
+                );
+            }
+        }
+        self.stats.db_compactions += 1;
+        self.stats.clauses_reclaimed += map.reclaimed;
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -692,6 +777,9 @@ impl Solver {
     /// assumptions are retracted, not asserted.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
+        // Stamp the arena gauge even if stats were just reset: per-call
+        // snapshots must report the resident arena the call inherited.
+        self.note_arena_size();
         self.core.clear();
         if !self.ok {
             // Refutation at level 0 is a proof over the clauses actually
@@ -766,9 +854,10 @@ impl Solver {
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], None);
                 } else {
-                    match self.db.alloc(learnt.clone(), true, lbd) {
+                    match self.db.alloc(&learnt, true, lbd) {
                         Ok(cref) => {
                             self.attach(cref);
+                            self.note_arena_size();
                             self.stats.learnt_clauses += 1;
                             self.bump_clause(cref);
                             self.enqueue(learnt[0], Some(cref));
@@ -906,7 +995,12 @@ impl Solver {
         self.stats = SolverStats::default();
     }
 
+
     /// Clones the solver for use as an independent enumeration worker.
+    ///
+    /// With the flat clause arena this is cheap: the whole clause database
+    /// copies as one contiguous `u32` buffer (plus the watch lists), not as
+    /// one heap allocation per clause.
     ///
     /// Hardening for partitioned (multi-threaded) search: a clone must not
     /// inherit transient per-call state, so this asserts the solver sits at
@@ -949,6 +1043,15 @@ impl Solver {
         self.db.live_learnts()
     }
 
+    /// Resident clause-arena size in bytes, right now. Unlike the
+    /// `arena_bytes` statistics field (a high-water gauge over a stats
+    /// window), this reads the current buffer length directly — it shrinks
+    /// after a garbage collection, which is what memory-bound callers and
+    /// the throughput benchmark want to observe.
+    pub fn arena_bytes(&self) -> usize {
+        self.db.arena_bytes()
+    }
+
     /// Retires an activation-literal clause group: permanently asserts
     /// `¬act` and garbage-collects every clause the assertion satisfies
     /// forever.
@@ -980,25 +1083,68 @@ impl Solver {
             // arena no longer matters.
             return 0;
         }
-        let mut removed = 0u64;
-        for idx in 0..self.db.len() {
-            let cref = ClauseRef(idx as u32);
-            let c = self.db.get(cref);
-            if c.deleted || c.lits.len() <= 2 || !c.lits.contains(&dead) {
-                continue;
-            }
-            self.db.delete(cref);
-            removed += 1;
-            self.stats.deleted_clauses += 1;
-        }
+        let removed = self.db.delete_containing_long(dead);
+        self.stats.deleted_clauses += removed;
         self.db.sweep_learnt_index();
         self.stats.learnt_clauses = self.db.live_learnts() as u64;
+        // Retirement is where incremental sessions shed whole clause
+        // groups; compacting here is what keeps a deep backward fixed
+        // point's memory bounded.
+        self.maybe_collect_garbage();
         removed
     }
 
     /// `true` while the clause set has not been refuted at level 0.
     pub fn is_ok(&self) -> bool {
         self.ok
+    }
+
+    /// Test-only structural audit of the watch lists and reason slots
+    /// against the clause arena; the GC invariant suite runs it after
+    /// every forced collection.
+    #[cfg(test)]
+    fn check_integrity(&self) {
+        for (code, ws) in self.watches.iter().enumerate() {
+            let watch_lit = !Lit::from_code(code as u32);
+            for w in ws {
+                let m = self.db.meta(w.cref);
+                if m.deleted {
+                    // Lazy pruning tolerates tombstoned watchers — but a
+                    // collection must have dropped all of them.
+                    continue;
+                }
+                assert!(m.len >= 2, "watched clause too short");
+                assert_eq!(w.binary, m.len == 2, "binary flag out of sync");
+                let l0 = self.db.lit_at(m.start);
+                let l1 = self.db.lit_at(m.start + 1);
+                assert!(
+                    l0 == watch_lit || l1 == watch_lit,
+                    "watcher for {watch_lit} not among the first two literals"
+                );
+            }
+        }
+        for (v, slot) in self.reasons.iter().enumerate() {
+            if let Some(r) = slot {
+                assert!(
+                    !self.assigns[v].is_undef(),
+                    "reason slot on an unassigned variable"
+                );
+                assert!(!self.db.is_deleted(*r), "reason clause tombstoned");
+            }
+        }
+        for &c in &self.db.learnts {
+            assert!(self.db.is_learnt(c), "non-learnt clause in learnt index");
+        }
+    }
+
+    /// Test-only: all watcher refs point at live clauses (true right after
+    /// a collection, before any new deletions).
+    #[cfg(test)]
+    fn no_tombstoned_watchers(&self) -> bool {
+        self.watches
+            .iter()
+            .flatten()
+            .all(|w| !self.db.is_deleted(w.cref))
     }
 }
 
@@ -1615,21 +1761,139 @@ mod tests {
         // Mid-search exhaustion: room for the problem clauses but not for
         // learnt clauses.
         let mut s = pigeonhole(7);
-        s.db.capacity = s.db.len() as u32;
+        s.db.capacity = s.db.arena_words() as u32;
         assert_eq!(
             s.solve().stop_reason(),
             Some(StopReason::ResourceExhausted)
         );
 
         // Exhaustion while adding problem clauses poisons the solver: the
-        // stored formula is incomplete, so answers become Unknown.
+        // stored formula is incomplete, so answers become Unknown. Four
+        // words hold the first binary clause (header + 2 lits) but not a
+        // second one.
         let mut s = Solver::new(4);
-        s.db.capacity = 1;
+        s.db.capacity = 4;
         assert!(s.add_clause([lit(0, true), lit(1, true)]));
         assert!(s.add_clause([lit(2, true), lit(3, true)])); // dropped
         assert_eq!(
             s.solve().stop_reason(),
             Some(StopReason::ResourceExhausted)
+        );
+    }
+
+    /// Tentpole invariant: a forced collection at level 0 leaves the
+    /// solver semantically identical — every model query agrees with an
+    /// untouched clone — and structurally sound (watchers rewired, no
+    /// tombstoned refs anywhere).
+    #[test]
+    fn collect_garbage_preserves_models_and_rewires_refs() {
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(77);
+        let n = 8;
+        let mut cnf = presat_logic::Cnf::new(n);
+        for _ in 0..24 {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                .collect();
+            cnf.add_clause(c);
+        }
+        let mut s = Solver::from_cnf(&cnf);
+        let _ = s.solve(); // warm: learnt clauses, phases
+        // Tombstone a few clause groups through retirement.
+        for _ in 0..3 {
+            let act = Lit::pos(s.add_var());
+            for _ in 0..4 {
+                let mut c = vec![!act];
+                for _ in 0..2 {
+                    c.push(lit(rng.gen_range(0..n), rng.gen_bool(0.5)));
+                }
+                s.add_clause(c);
+            }
+            let _ = s.solve_with_assumptions(&[act]);
+            s.retire_group(act);
+        }
+        let twin = s.clone_at_root();
+        s.collect_garbage();
+        s.check_integrity();
+        assert!(s.no_tombstoned_watchers(), "collection left dead watchers");
+        assert!(s.stats().db_compactions >= 1);
+        // Semantic equivalence under a sweep of assumption probes.
+        let mut twin = twin;
+        for _ in 0..24 {
+            let a: Vec<Lit> = (0..2)
+                .map(|_| lit(rng.gen_range(0..n), rng.gen_bool(0.5)))
+                .collect();
+            assert_eq!(
+                s.solve_with_assumptions(&a).is_sat(),
+                twin.solve_with_assumptions(&a).is_sat()
+            );
+        }
+    }
+
+    /// Mid-search collections (triggered from `reduce_db`) must keep
+    /// locked reason clauses live and the proof intact.
+    #[test]
+    fn gc_mid_search_keeps_reasons_valid_and_proof_intact() {
+        let mut s = pigeonhole(7);
+        s.max_learnts = 4; // reduce constantly → tombstones → collections
+        assert!(matches!(s.solve(), SolveResult::Unsat));
+        assert!(
+            s.stats().db_compactions > 0,
+            "expected GC to trigger under heavy reduction: {:?}",
+            s.stats()
+        );
+        assert!(s.stats().clauses_reclaimed > 0);
+        s.check_integrity();
+    }
+
+    /// Deep retirement churn: arena stays bounded instead of growing
+    /// monotonically with every retired group.
+    #[test]
+    fn retirement_churn_keeps_arena_bounded() {
+        use presat_logic::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let n = 6;
+        let mut s = Solver::new(n);
+        let mut peak_after_gc = 0usize;
+        let mut total_allocated_words = 0usize;
+        for _ in 0..40 {
+            let act = Lit::pos(s.add_var());
+            for _ in 0..6 {
+                let mut c = vec![!act];
+                for _ in 0..3 {
+                    c.push(lit(rng.gen_range(0..n), rng.gen_bool(0.5)));
+                }
+                total_allocated_words += 1 + 4; // header + ¬act + 3 lits
+                s.add_clause(c);
+            }
+            let _ = s.solve_with_assumptions(&[act]);
+            s.retire_group(act);
+            peak_after_gc = peak_after_gc.max(s.db.arena_words());
+        }
+        assert!(s.stats().db_compactions > 0, "GC never triggered");
+        assert!(s.stats().clauses_reclaimed > 0);
+        assert!(
+            peak_after_gc < total_allocated_words,
+            "arena never shrank: peak {peak_after_gc} vs allocated {total_allocated_words}"
+        );
+        s.check_integrity();
+        assert!(s.solve().is_sat());
+    }
+
+    /// The arena gauge survives a stats reset: per-call snapshots report
+    /// the resident arena inherited from earlier calls.
+    #[test]
+    fn arena_gauge_restamped_after_reset_stats() {
+        let mut s = pigeonhole(5);
+        let _ = s.solve();
+        let resident = s.db.arena_bytes() as u64;
+        assert!(s.stats().arena_bytes >= resident);
+        s.reset_stats();
+        assert_eq!(s.stats().arena_bytes, 0);
+        let _ = s.solve();
+        assert!(
+            s.stats().arena_bytes >= resident,
+            "solve entry must restamp the gauge"
         );
     }
 }

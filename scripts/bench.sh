@@ -7,9 +7,12 @@
 #                    one persistent solver session across the backward
 #                    fixed point, with session-reuse counters);
 #   BENCH_PR4.json — budget-polling overhead probe (unlimited enumeration
-#                    vs a generous never-tripping budget + cancel token).
+#                    vs a generous never-tripping budget + cancel token);
+#   BENCH_PR5.json — propagation-throughput probe (flat clause arena vs a
+#                    faithful replica of the pre-arena Vec-of-Vec store:
+#                    BCP sweeps, resident clause bytes, worker-clone cost).
 #
-# Both binaries assert result equality between the compared configurations
+# All binaries assert result equality between the compared configurations
 # before timing anything, so a successful run is also a determinism check.
 #
 #   scripts/bench.sh              # 5 samples per case (default)
@@ -21,10 +24,11 @@ cargo build --release --offline -p presat-bench
 ./target/release/thread_scaling BENCH_PR2.json
 ./target/release/reach_incremental BENCH_PR3.json
 ./target/release/budget_overhead BENCH_PR4.json
+./target/release/propagation_throughput BENCH_PR5.json
 
 # Show how the checked-in numbers moved (informational; timings drift with
 # hardware, the structure should not).
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
-  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json || true
+  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json || true
 fi
 echo "bench: OK"

@@ -58,5 +58,29 @@ if ! printf '%s\n' "$smoke_out" | grep -q '"stop_reason":"deadline"'; then
   printf '%s\n' "$smoke_out" >&2
   exit 1
 fi
+# The clause-memory counters must surface in the stats JSON: the arena
+# gauge is non-zero on any real run, the GC counters merely present.
+if ! printf '%s\n' "$smoke_out" | grep -q '"arena_bytes":[1-9]'; then
+  echo "verify: FAIL — stats JSON missing a non-zero arena_bytes gauge" >&2
+  printf '%s\n' "$smoke_out" >&2
+  exit 1
+fi
+for field in db_compactions clauses_reclaimed cones_skipped; do
+  if ! printf '%s\n' "$smoke_out" | grep -q "\"$field\":"; then
+    echo "verify: FAIL — stats JSON missing the $field counter" >&2
+    printf '%s\n' "$smoke_out" >&2
+    exit 1
+  fi
+done
+
+# Propagation-throughput smoke: the bench binary cross-checks the flat
+# arena against a replica of the pre-arena clause store probe-by-probe,
+# so one cheap sample doubles as a layout-equivalence test.
+PRESAT_BENCH_SAMPLES=1 timeout 120 ./target/release/propagation_throughput \
+  "$smoke_dir/bench_pr5.json" > /dev/null
+if ! grep -q '"churn":{' "$smoke_dir/bench_pr5.json"; then
+  echo "verify: FAIL — propagation_throughput produced no churn record" >&2
+  exit 1
+fi
 
 echo "verify: OK"

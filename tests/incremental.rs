@@ -244,6 +244,64 @@ fn incremental_sessions_report_reuse_counters() {
     assert_eq!(rebuild.stats.encodings_reused, 0);
 }
 
+/// Deep-fixed-point memory bound: a long-lived incremental session that
+/// adds and retires a clause group per round must *not* grow its clause
+/// arena monotonically — garbage collection has to reclaim retired groups
+/// (and the learnt clauses derived from them), which is observable through
+/// the new `arena_bytes` / `db_compactions` / `clauses_reclaimed` counters.
+#[test]
+fn incremental_session_arena_stays_bounded_across_deep_fixed_point() {
+    use presat::allsat::{EnumLimits, IncrementalAllSat, SuccessDrivenAllSat};
+    use presat::logic::rng::SplitMix64;
+    use presat::logic::{Cnf, Lit, Var};
+
+    let n = 6;
+    let mut rng = SplitMix64::seed_from_u64(2024);
+    let rand_lit =
+        |rng: &mut SplitMix64| Lit::with_phase(Var::new(rng.gen_range(0..n)), rng.gen_bool(0.5));
+    let mut base = Cnf::new(n);
+    for _ in 0..8 {
+        let c: Vec<Lit> = (0..3).map(|_| rand_lit(&mut rng)).collect();
+        base.add_clause(c);
+    }
+    let important: Vec<Var> = Var::range(n).collect();
+    let mut session = IncrementalAllSat::new(base, important, SuccessDrivenAllSat::new(), 1);
+
+    let rounds = 40;
+    let clauses_per_round = 6;
+    let mut total_group_bytes = 0u64;
+    let mut compactions = 0u64;
+    let mut reclaimed = 0u64;
+    let mut last_arena_bytes = 0u64;
+    for _ in 0..rounds {
+        let act = Lit::pos(session.add_var());
+        for _ in 0..clauses_per_round {
+            let mut c = vec![!act];
+            for _ in 0..3 {
+                c.push(rand_lit(&mut rng));
+            }
+            // header word + 4 literal words, 4 bytes each
+            total_group_bytes += 4 * (1 + 4);
+            session.add_clause(c);
+        }
+        let result = session.enumerate_limited(&[act], &EnumLimits::none(), &mut presat::obs::NullSink);
+        assert!(result.complete, "unbudgeted enumeration must finish");
+        compactions += result.stats.sat.db_compactions;
+        reclaimed += result.stats.sat.clauses_reclaimed;
+        last_arena_bytes = result.stats.sat.arena_bytes;
+        session.retire(act);
+    }
+    assert!(compactions > 0, "GC never ran across {rounds} retirement rounds");
+    assert!(reclaimed > 0, "GC ran but reclaimed nothing");
+    assert!(last_arena_bytes > 0, "arena gauge never stamped");
+    // Without GC the arena holds every group ever added (plus learnts); with
+    // GC the resident size must stay well below the monotonic total.
+    assert!(
+        last_arena_bytes < total_group_bytes / 2,
+        "arena grew monotonically: resident {last_arena_bytes} B vs {total_group_bytes} B of groups added"
+    );
+}
+
 /// Suite-wide oracle check honouring `PRESAT_TEST_INCREMENTAL`, so
 /// `scripts/verify.sh` exercises the ground-truth comparison in both
 /// modes.

@@ -129,6 +129,54 @@ fn reach_aggregates_counters_and_emits_iteration_events() {
 }
 
 #[test]
+fn clause_memory_counters_surface_in_json_and_csv() {
+    // Full-width target: every cone is needed, but the arena gauge must
+    // still report the resident clause memory of the run.
+    let c = generators::counter(4, false);
+    let result = SatPreimage::success_driven().preimage(&c, &StateSet::from_state_bits(9, 4));
+    let text = Stats::from_preimage("sat-success-driven", &result.stats).to_json();
+    json::validate(&text).unwrap();
+    assert!(
+        json::extract_u64(&text, "arena_bytes").unwrap() > 0,
+        "arena gauge missing or zero: {text}"
+    );
+    assert_eq!(
+        json::extract_u64(&text, "db_compactions"),
+        Some(result.stats.allsat.sat.db_compactions)
+    );
+    assert_eq!(
+        json::extract_u64(&text, "clauses_reclaimed"),
+        Some(result.stats.allsat.sat.clauses_reclaimed)
+    );
+    assert_eq!(json::extract_u64(&text, "cones_skipped"), Some(0));
+
+    // Single-latch target: bit 0 of a counter toggles on its own, so the
+    // other next-state cones fall outside the cone of influence and the
+    // skip count must surface in the JSON.
+    let partial = SatPreimage::success_driven().preimage(&c, &StateSet::from_partial(&[(0, true)]));
+    assert!(partial.stats.cones_skipped > 0);
+    let text = Stats::from_preimage("sat-success-driven", &partial.stats).to_json();
+    assert_eq!(
+        json::extract_u64(&text, "cones_skipped"),
+        Some(partial.stats.cones_skipped)
+    );
+
+    // The CSV schema names every new column.
+    for col in [
+        "sat_arena_bytes",
+        "sat_db_compactions",
+        "sat_clauses_reclaimed",
+        "preimage_cones_skipped",
+    ] {
+        assert!(
+            Stats::csv_header().contains(col),
+            "csv header lacks {col}: {}",
+            Stats::csv_header()
+        );
+    }
+}
+
+#[test]
 fn csv_rows_align_with_header_for_every_engine() {
     let c = generators::counter(3, false);
     let target = StateSet::from_state_bits(2, 3);
