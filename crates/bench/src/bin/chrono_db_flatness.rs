@@ -1,0 +1,123 @@
+//! Clause-DB flatness probe (table R9 of `EXPERIMENTS.md`): peak clause-DB
+//! size as a function of solution count, blocking vs. chrono enumeration.
+//! Written as `BENCH_PR6.json`:
+//!
+//! ```text
+//! cargo run --release -p presat-bench --bin chrono_db_flatness [out.json]
+//! ```
+//!
+//! Two formula families whose solution counts grow exponentially in `n`
+//! while their encodings stay small:
+//!
+//! * `wide_or(n)` — a single clause `x0 ∨ … ∨ x_{n-1}`, all `n` variables
+//!   important: `2^n − 1` solutions from one problem clause;
+//! * `xor_chain(n)` — a Tseitin parity chain `y_i ↔ x_i ⊕ y_{i-1}` with the
+//!   final parity forced on, only the `x` inputs important: `2^{n-1}`
+//!   solutions from `4(n−1) + 1` clauses.
+//!
+//! The blocking engine asserts one blocking clause per emitted cube, so its
+//! DB peak is `problem + solutions − 1` — linear in the solution count. The
+//! chrono engine flips decisions in place and never adds a clause, so its
+//! peak equals the problem clause count exactly, independent of how many
+//! solutions it enumerates. Both claims are asserted, not just measured,
+//! and both engines' expanded model sets are cross-checked before any
+//! number is recorded.
+
+use presat_allsat::{AllSatEngine, AllSatProblem, BlockingAllSat, ChronoAllSat};
+use presat_logic::{Cnf, Lit, Var};
+use presat_obs::json::JsonObject;
+
+fn lit(v: usize, pos: bool) -> Lit {
+    Lit::with_phase(Var::new(v), pos)
+}
+
+/// `x0 ∨ … ∨ x_{n-1}`: one clause, `2^n − 1` solutions.
+fn wide_or(n: usize) -> AllSatProblem {
+    let mut cnf = Cnf::new(n);
+    cnf.add_clause((0..n).map(|v| lit(v, true)).collect::<Vec<_>>());
+    AllSatProblem::new(cnf, Var::range(n).collect())
+}
+
+/// Tseitin parity chain over inputs `x0..x_{n-1}` with aux `y1..y_{n-1}`
+/// (`y_i ↔ x_i ⊕ y_{i-1}`, seeded with `y_0 = x_0`) and the final parity
+/// forced true: `2^{n-1}` solutions projected onto the inputs.
+fn xor_chain(n: usize) -> AllSatProblem {
+    assert!(n >= 2);
+    let mut cnf = Cnf::new(2 * n - 1);
+    // x_i is var i; y_i (i >= 1) is var n + i - 1; y_0 aliases x_0.
+    let y = |i: usize| if i == 0 { i } else { n + i - 1 };
+    for i in 1..n {
+        let (a, b, c) = (lit(i, true), lit(y(i - 1), true), lit(y(i), true));
+        // c ↔ a ⊕ b as four clauses.
+        cnf.add_clause(vec![!a, !b, !c]);
+        cnf.add_clause(vec![a, b, !c]);
+        cnf.add_clause(vec![!a, b, c]);
+        cnf.add_clause(vec![a, !b, c]);
+    }
+    cnf.add_clause(vec![lit(y(n - 1), true)]);
+    AllSatProblem::new(cnf, Var::range(n).collect())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let mut out = JsonObject::new();
+    println!(
+        "{:<14} {:>10} {:>8} {:>14} {:>12} {:>12}",
+        "case", "solutions", "clauses", "blocking_peak", "chrono_peak", "backtracks"
+    );
+    let cases: Vec<(String, AllSatProblem, usize)> = [4usize, 6, 8, 10]
+        .iter()
+        .flat_map(|&n| {
+            [
+                (format!("wide_or_{n}"), wide_or(n), n),
+                (format!("xor_chain_{n}"), xor_chain(n), n),
+            ]
+        })
+        .collect();
+    for (label, problem, k) in cases {
+        let blocking = BlockingAllSat::new().enumerate(&problem);
+        let chrono = ChronoAllSat::new().enumerate(&problem);
+        assert!(blocking.complete && chrono.complete, "{label}: incomplete");
+        let solutions = chrono.minterm_count(k);
+        assert_eq!(
+            blocking.minterm_count(k),
+            solutions,
+            "{label}: engines disagree on the solution count"
+        );
+
+        // The structural claims behind the headline: blocking's DB carries
+        // one clause per emitted cube on top of the encoding; chrono's
+        // never grows past the encoding and learns nothing.
+        let problem_clauses = chrono.stats.sat.problem_clauses;
+        let blocking_peak = blocking.stats.db_clauses_peak;
+        let chrono_peak = chrono.stats.db_clauses_peak;
+        assert_eq!(
+            chrono_peak, problem_clauses,
+            "{label}: chrono clause DB grew during enumeration"
+        );
+        assert_eq!(chrono.stats.sat.learnt_clauses, 0, "{label}");
+        assert_eq!(chrono.stats.blocking_clauses, 0, "{label}");
+        assert!(
+            blocking_peak >= problem_clauses + blocking.stats.blocking_clauses - 1,
+            "{label}: blocking peak below its own blocking-clause count"
+        );
+
+        println!(
+            "{label:<14} {solutions:>10} {problem_clauses:>8} {blocking_peak:>14} {chrono_peak:>12} {:>12}",
+            chrono.stats.chrono_backtracks
+        );
+        out.begin_object(&label);
+        out.field_u64("solutions", solutions as u64);
+        out.field_u64("problem_clauses", problem_clauses);
+        out.field_u64("blocking_cubes", blocking.stats.cubes_emitted);
+        out.field_u64("blocking_db_peak", blocking_peak);
+        out.field_u64("chrono_db_peak", chrono_peak);
+        out.field_u64("chrono_backtracks", chrono.stats.chrono_backtracks);
+        out.end_object();
+    }
+    let json = out.finish();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

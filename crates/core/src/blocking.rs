@@ -75,6 +75,8 @@ impl AllSatEngine for BlockingAllSat {
                     // Block exactly this minterm.
                     let blocked = solver.add_clause(minterm.lits().iter().map(|&l| !l));
                     stats.blocking_clauses += 1;
+                    let db = solver.stats().problem_clauses + solver.live_learnt_count() as u64;
+                    stats.db_clauses_peak = stats.db_clauses_peak.max(db);
                     sink.record(&Event::BlockingClause {
                         width: minterm.len() as u32,
                     });

@@ -5,7 +5,7 @@
 //! present-state variables, in preimage computation), enumerate the exact
 //! projection of the formula's models onto the important variables.
 //!
-//! Three engines implement the common [`AllSatEngine`] interface:
+//! Four engines implement the common [`AllSatEngine`] interface:
 //!
 //! * [`BlockingAllSat`] — the classical baseline: repeat (solve → project
 //!   model → add a minterm blocking clause) until UNSAT. One clause per
@@ -22,6 +22,11 @@
 //!   [`SolutionGraph`] keyed by a sound connectivity signature, so
 //!   isomorphic subspaces are solved once and reused. The solution graph is
 //!   simultaneously the compact output representation of the preimage.
+//! * [`ChronoAllSat`] — the modern blocking-clause-free alternative
+//!   (Spallitta–Sebastiani–Biere): on each model, chronologically backtrack
+//!   one level and flip the deepest open decision instead of asserting a
+//!   blocking clause. Disjoint cubes, and a clause database whose size is
+//!   independent of the solution count.
 //!
 //! # Examples
 //!
@@ -49,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod blocking;
+mod chrono;
 mod engine;
 mod incremental;
 mod iter;
@@ -62,6 +68,7 @@ mod solution_graph;
 mod success_driven;
 
 pub use blocking::BlockingAllSat;
+pub use chrono::ChronoAllSat;
 pub use engine::{AllSatEngine, AllSatProblem, AllSatResult, EnumerationStats};
 pub use incremental::IncrementalAllSat;
 pub use iter::CubeIter;

@@ -80,6 +80,8 @@ impl AllSatEngine for MinimizedBlockingAllSat {
                     });
                     let blocked = solver.add_clause(cube.lits().iter().map(|&l| !l));
                     stats.blocking_clauses += 1;
+                    let db = solver.stats().problem_clauses + solver.live_learnt_count() as u64;
+                    stats.db_clauses_peak = stats.db_clauses_peak.max(db);
                     sink.record(&Event::BlockingClause {
                         width: cube.len() as u32,
                     });

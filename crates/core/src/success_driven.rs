@@ -207,6 +207,8 @@ impl Search<'_> {
             Some(m) => m,
             None => {
                 self.stats.solver_calls += 1;
+                let db = self.solver.stats().problem_clauses + self.solver.live_learnt_count() as u64;
+                self.stats.db_clauses_peak = self.stats.db_clauses_peak.max(db);
                 match self.solver.solve_with_assumptions(&self.prefix_lits) {
                     SolveResult::Unsat => return SolutionNodeId::BOTTOM,
                     SolveResult::Unknown(reason) => {
@@ -336,6 +338,8 @@ impl AllSatEngine for SuccessDrivenAllSat {
         let root = search.explore(0, None);
         search.stats.graph_nodes = search.graph.reachable_count(root) as u64;
         search.stats.sat = *search.solver.stats();
+        let db = search.stats.sat.problem_clauses + search.solver.live_learnt_count() as u64;
+        search.stats.db_clauses_peak = search.stats.db_clauses_peak.max(db);
         search.stats.sat_conflicts = search.stats.sat.conflicts;
         search.stats.sat_decisions = search.stats.sat.decisions;
         let cubes = search.graph.to_cube_set(root, &problem.important);

@@ -108,6 +108,14 @@ pub struct AllSatCounters {
     /// (parallel engine only; they are reported as empty and the result is
     /// flagged incomplete).
     pub cancelled_cubes: u64,
+    /// Chronological flips: one-level backtracks that replaced a blocking
+    /// clause (chrono engine only).
+    pub chrono_backtracks: u64,
+    /// Peak live clause count (problem + learnt) in the sub-solver's
+    /// database during the run — the gauge the DB-flatness experiment
+    /// reads. Constant in the solution count for the chrono engine, linear
+    /// for the blocking baselines.
+    pub db_clauses_peak: u64,
     /// Full counter snapshot of the underlying CDCL solver.
     pub sat: SatCounters,
 }
@@ -128,6 +136,8 @@ impl AllSatCounters {
         self.sat_decisions += other.sat_decisions;
         self.budget_stops += other.budget_stops;
         self.cancelled_cubes += other.cancelled_cubes;
+        self.chrono_backtracks += other.chrono_backtracks;
+        self.db_clauses_peak = self.db_clauses_peak.max(other.db_clauses_peak);
         self.sat.absorb(&other.sat);
     }
 }

@@ -152,6 +152,8 @@ impl Stats {
             .field_u64("graph_nodes", self.allsat.graph_nodes)
             .field_u64("budget_stops", self.allsat.budget_stops)
             .field_u64("cancelled_cubes", self.allsat.cancelled_cubes)
+            .field_u64("chrono_backtracks", self.allsat.chrono_backtracks)
+            .field_u64("db_clauses_peak", self.allsat.db_clauses_peak)
             .end_object();
         o.begin_object("preimage")
             .field_u64("result_cubes", self.preimage.result_cubes)
@@ -196,6 +198,8 @@ impl Stats {
             "allsat_graph_nodes",
             "allsat_budget_stops",
             "allsat_cancelled_cubes",
+            "allsat_chrono_backtracks",
+            "allsat_db_clauses_peak",
             "preimage_result_cubes",
             "preimage_iterations",
             "preimage_bdd_nodes",
@@ -231,6 +235,8 @@ impl Stats {
             self.allsat.graph_nodes,
             self.allsat.budget_stops,
             self.allsat.cancelled_cubes,
+            self.allsat.chrono_backtracks,
+            self.allsat.db_clauses_peak,
             self.preimage.result_cubes,
             self.preimage.iterations,
             self.preimage.bdd_nodes,

@@ -1,7 +1,7 @@
 //! SAT-enumerative preimage engines.
 
 use presat_allsat::{
-    AllSatEngine, AllSatProblem, AllSatResult, BlockingAllSat, EnumLimits,
+    AllSatEngine, AllSatProblem, AllSatResult, BlockingAllSat, ChronoAllSat, EnumLimits,
     MinimizedBlockingAllSat, ParallelAllSat, SignatureMode, SuccessDrivenAllSat,
 };
 use presat_circuit::Circuit;
@@ -20,6 +20,9 @@ pub enum SatEngineKind {
     Blocking,
     /// Lifted blocking clauses ([`MinimizedBlockingAllSat`]).
     MinBlocking,
+    /// Blocking-clause-free chronological backtracking ([`ChronoAllSat`]):
+    /// the clause database stays flat per fixed-point iteration.
+    Chrono,
     /// The paper's solver ([`SuccessDrivenAllSat`]) with the given
     /// signature mode and model guidance.
     SuccessDriven {
@@ -68,6 +71,15 @@ impl SatPreimage {
     pub fn min_blocking() -> Self {
         SatPreimage {
             kind: SatEngineKind::MinBlocking,
+            env: None,
+            jobs: 1,
+        }
+    }
+
+    /// Preimage via blocking-clause-free chronological backtracking.
+    pub fn chrono() -> Self {
+        SatPreimage {
+            kind: SatEngineKind::Chrono,
             env: None,
             jobs: 1,
         }
@@ -132,6 +144,7 @@ impl PreimageEngine for SatPreimage {
         match self.kind {
             SatEngineKind::Blocking => "sat-blocking".into(),
             SatEngineKind::MinBlocking => "sat-min-blocking".into(),
+            SatEngineKind::Chrono => "sat-chrono".into(),
             SatEngineKind::SuccessDriven {
                 signature,
                 model_guidance,
@@ -175,6 +188,7 @@ impl PreimageEngine for SatPreimage {
             SatEngineKind::MinBlocking => {
                 MinimizedBlockingAllSat::new().enumerate_limited(&problem, limits, sink)
             }
+            SatEngineKind::Chrono => ChronoAllSat::new().enumerate_limited(&problem, limits, sink),
             SatEngineKind::SuccessDriven {
                 signature,
                 model_guidance,
@@ -259,6 +273,7 @@ mod tests {
         vec![
             SatPreimage::blocking(),
             SatPreimage::min_blocking(),
+            SatPreimage::chrono(),
             SatPreimage::success_driven(),
             SatPreimage::success_driven_with(SignatureMode::Static, true),
             SatPreimage::success_driven_with(SignatureMode::None, false),

@@ -1099,6 +1099,125 @@ impl Solver {
         self.ok
     }
 
+    // --- Chronological-enumeration support ------------------------------
+    //
+    // Blocking-clause-free enumeration (Spallitta–Sebastiani–Biere) drives
+    // the decision stack from *outside* the solver: the driver decides
+    // literals one level at a time, and on each model backtracks exactly
+    // one level and flips the deepest open decision instead of asserting a
+    // blocking clause. These entry points expose precisely that much of
+    // the CDCL internals — open a level, undo to a level, read the trail —
+    // without ever allocating a clause. None of them touches the clause
+    // database, which is what keeps the DB flat in the solution count.
+
+    /// Current decision level (`0` = root, no open decisions).
+    pub fn level(&self) -> usize {
+        self.decision_level()
+    }
+
+    /// Runs unit propagation at the root level. Returns `false` if the
+    /// formula is refuted outright (the solver is then poisoned like any
+    /// level-0 conflict). Chronological drivers call this once before
+    /// their first decision so root implications are on the trail.
+    pub fn propagate_root(&mut self) -> bool {
+        assert_eq!(self.decision_level(), 0, "propagate_root requires level 0");
+        if !self.ok {
+            return false;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return false;
+        }
+        true
+    }
+
+    /// Opens a fresh decision level, decides `lit`, and propagates to a
+    /// fixed point. Returns `true` if no conflict arose; on `false` the
+    /// trail still holds the conflicting prefix and the caller must
+    /// [`Solver::backtrack`] before deciding again. Counts as one decision
+    /// (and, on conflict, one conflict) in the statistics. Never adds a
+    /// clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `lit`'s variable is already assigned.
+    pub fn decide(&mut self, lit: Lit) -> bool {
+        debug_assert!(self.lit_value(lit).is_undef(), "decide on assigned {lit}");
+        self.stats.decisions += 1;
+        self.new_decision_level();
+        self.enqueue(lit, None);
+        if self.propagate().is_some() {
+            self.stats.conflicts += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Undoes every assignment above decision level `level`, restoring
+    /// saved phases and the branching heap, without touching the trail
+    /// prefix at or below `level`. A no-op when already at or below
+    /// `level`.
+    pub fn backtrack(&mut self, level: usize) {
+        self.cancel_until(level);
+    }
+
+    /// The trail prefix covering decision levels `0..=level`: every
+    /// literal (decisions and implications) assigned at those levels, in
+    /// assignment order. Passing the current level (or anything larger)
+    /// returns the whole trail.
+    pub fn trail_prefix(&self, level: usize) -> &[Lit] {
+        let bound = if level >= self.decision_level() {
+            self.trail.len()
+        } else {
+            self.trail_lim[level]
+        };
+        &self.trail[..bound]
+    }
+
+    /// Decision level at which `var` was assigned; `None` if unassigned.
+    pub fn level_of(&self, var: Var) -> Option<usize> {
+        if self.assigns[var.index()].is_undef() {
+            None
+        } else {
+            Some(self.levels[var.index()] as usize)
+        }
+    }
+
+    /// First unassigned variable at or after `from` in index order, if
+    /// any. Chronological enumeration branches in plain variable order
+    /// (important variables first by construction of the problem), so it
+    /// scans indices rather than popping the activity heap — the heap
+    /// order would make the decision tree depend on conflict history.
+    pub fn next_unassigned(&self, from: Var) -> Option<Var> {
+        (from.index()..self.num_vars())
+            .map(Var::new)
+            .find(|v| self.assigns[v.index()].is_undef())
+    }
+
+    /// Snapshot of the current assignment as a total model (unassigned
+    /// variables default to `false`, as in [`Solver::solve`] models).
+    pub fn model_snapshot(&self) -> Assignment {
+        self.extract_model()
+    }
+
+    /// Polls the installed [`Budget`] / [`CancelToken`] exactly like the
+    /// internal search loop does; `None` when nothing has tripped (always,
+    /// if no limits are installed). `check_time` gates the `Instant::now()`
+    /// call so hot loops can pay it only every few polls.
+    pub fn poll_budget(&self, check_time: bool) -> Option<StopReason> {
+        if !self.has_limits {
+            return None;
+        }
+        self.check_stop(check_time)
+    }
+
+    /// `true` once an arena-full allocation failure has poisoned
+    /// completeness claims: enumeration must report `Unknown`, never
+    /// "complete".
+    pub fn resource_exhausted(&self) -> bool {
+        self.resource_exhausted
+    }
+
     /// Test-only structural audit of the watch lists and reason slots
     /// against the clause arena; the GC invariant suite runs it after
     /// every forced collection.

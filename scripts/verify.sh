@@ -12,6 +12,14 @@ cargo build --release --offline
 PRESAT_TEST_JOBS=1 cargo test -q --workspace --offline
 PRESAT_TEST_JOBS=4 cargo test -q --workspace --offline
 
+# Differential cross-engine fuzz harness (fixed seed): every enumeration
+# engine — blocking, min-blocking, success-driven, parallel, chrono — must
+# produce semantically identical model sets, pinned against the BDD
+# package's existential projection and satcount. Run explicitly at both
+# thread counts so a workspace-filter change can never silently skip it.
+PRESAT_TEST_JOBS=1 cargo test -q -p presat --test differential --offline
+PRESAT_TEST_JOBS=4 cargo test -q -p presat --test differential --offline
+
 # The incremental cross-check suite already compares both reachability
 # paths head-to-head; its oracle test additionally honours
 # PRESAT_TEST_INCREMENTAL, so run it once per mode (=1 session path,
@@ -27,6 +35,18 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 if grep -rn --include='*.rs' 'partial_cmp' crates src examples 2>/dev/null \
     | grep '\.expect' | grep -v '/tests/'; then
   echo "verify: FAIL — partial_cmp(..).expect in non-test code (use total_cmp)" >&2
+  exit 1
+fi
+
+# Lint gate: the chrono enumeration engine is blocking-clause-free by
+# construction — nothing in crates/core/src/chrono.rs may reach for
+# add_clause (or any other clause-DB mutation). The differential and
+# cross-engine suites check the counters at runtime; this pins the source.
+# (Comments and the in-file unit tests — which build Cnf fixtures — are
+# out of scope; only engine code above the #[cfg(test)] marker counts.)
+if sed -n '1,/#\[cfg(test)\]/p' crates/core/src/chrono.rs \
+    | grep -v '^\s*//' | grep -n 'add_clause\|add_blocking'; then
+  echo "verify: FAIL — chrono enumeration must not touch the clause DB" >&2
   exit 1
 fi
 

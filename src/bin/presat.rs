@@ -18,7 +18,9 @@
 //! `<spec>` is either a bit pattern (`0b1010` / decimal) naming one state,
 //! or a cube `latch=value,...` such as `3=1,0=0` (unlisted latches free).
 //! `--engine` selects `blocking`, `min-blocking`, `success-driven`
-//! (default), `bdd-sub`, or `bdd-mono` where applicable.
+//! (default), `chrono` (blocking-clause-free chronological backtracking),
+//! `bdd-sub`, or `bdd-mono` where applicable; an unrecognized name is a
+//! hard error listing the valid engines.
 //! `--jobs <n>` runs the success-driven enumeration on `n` worker threads
 //! (`0` = auto-detect, default 1); the output is bit-identical at every
 //! thread count.
@@ -37,8 +39,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use presat::allsat::{
-    AllSatEngine, AllSatProblem, BlockingAllSat, EnumLimits, MinimizedBlockingAllSat,
-    ParallelAllSat, SuccessDrivenAllSat,
+    AllSatEngine, AllSatProblem, BlockingAllSat, ChronoAllSat, EnumLimits,
+    MinimizedBlockingAllSat, ParallelAllSat, SuccessDrivenAllSat,
 };
 use presat::circuit::{aiger, bench, Circuit};
 use presat::logic::{dimacs, Var};
@@ -97,7 +99,7 @@ fn print_usage() {
          \x20 justify <circuit> --from <bits> --target <spec>\n\
          \x20 excite <circuit> --output <k> [--value 0|1]\n\
          \x20 depth <circuit> [--initial <spec>]\n\
-         options: --engine blocking|min-blocking|success-driven|bdd-sub|bdd-mono\n\
+         options: --engine blocking|min-blocking|success-driven|chrono|bdd-sub|bdd-mono\n\
          \x20        --max-iter <n>\n\
          \x20        --incremental / --no-incremental  (reach only; default on:\n\
          \x20                    one persistent solver session across the whole\n\
@@ -228,16 +230,24 @@ fn jobs_from_flag(args: &[String]) -> Result<usize, String> {
     }
 }
 
+/// The `--engine` names the circuit commands accept, for error messages.
+const CIRCUIT_ENGINES: &str = "blocking, min-blocking, success-driven, chrono, bdd-sub, bdd-mono";
+
 fn sat_engine_from_flag(args: &[String]) -> Result<Box<dyn PreimageEngine>, String> {
     let jobs = jobs_from_flag(args)?;
     Ok(
         match flag_value(args, "--engine").unwrap_or("success-driven") {
             "blocking" => Box::new(SatPreimage::blocking()),
             "min-blocking" => Box::new(SatPreimage::min_blocking()),
+            "chrono" => Box::new(SatPreimage::chrono()),
             "success-driven" => Box::new(SatPreimage::success_driven().with_jobs(jobs)),
             "bdd-sub" => Box::new(BddPreimage::substitution()),
             "bdd-mono" => Box::new(BddPreimage::monolithic()),
-            other => return Err(format!("unknown engine {other:?}")),
+            other => {
+                return Err(format!(
+                    "unknown engine {other:?} (valid engines: {CIRCUIT_ENGINES})"
+                ))
+            }
         },
     )
 }
@@ -320,7 +330,12 @@ fn cmd_allsat(args: &[String]) -> Result<ExitCode, String> {
             SuccessDrivenAllSat::new().enumerate_limited(&problem, &limits, &mut NullSink)
         }
         "success-driven" => ParallelAllSat::new(jobs).enumerate_limited(&problem, &limits, &mut NullSink),
-        other => return Err(format!("unknown engine {other:?}")),
+        "chrono" => ChronoAllSat::new().enumerate_limited(&problem, &limits, &mut NullSink),
+        other => {
+            return Err(format!(
+                "unknown engine {other:?} (valid engines: blocking, min-blocking, success-driven, chrono)"
+            ))
+        }
     };
     if has_flag(args, "--stats") {
         let mut stats = Stats::from_allsat(engine_name, &result.stats)
@@ -400,9 +415,18 @@ fn cmd_image(args: &[String]) -> Result<ExitCode, String> {
         flag_value(args, "--source").ok_or("image: --source <spec> required")?,
         n,
     )?;
+    // The SAT image path enumerates with the default engine regardless of
+    // which SAT engine was named, but an unrecognized name must still be a
+    // hard error — a typo silently falling through to the SAT path used to
+    // mask itself as a valid run.
     let result = match flag_value(args, "--engine").unwrap_or("success-driven") {
         "bdd-sub" | "bdd-mono" => bdd_image(&circuit, &source),
-        _ => sat_image(&circuit, &source),
+        "blocking" | "min-blocking" | "success-driven" | "chrono" => sat_image(&circuit, &source),
+        other => {
+            return Err(format!(
+                "unknown engine {other:?} (valid engines: {CIRCUIT_ENGINES})"
+            ))
+        }
     };
     println!(
         "image: {} states in {} cubes in {:.2?}",

@@ -10,7 +10,7 @@
 //! bit-identical to the unlimited one.
 
 use presat::allsat::{
-    AllSatEngine, AllSatProblem, BlockingAllSat, Budget, CancelToken, EnumLimits,
+    AllSatEngine, AllSatProblem, BlockingAllSat, Budget, CancelToken, ChronoAllSat, EnumLimits,
     MinimizedBlockingAllSat, ParallelAllSat, StopReason, SuccessDrivenAllSat,
 };
 use presat::circuit::generators;
@@ -131,15 +131,17 @@ fn conflict_budgets_yield_sound_partial_results() {
         let problem = AllSatProblem::new(cnf, important);
         // Each engine's partial runs are checked against that engine's own
         // unlimited run (cube shapes differ across engine families).
-        let (sd, bl, mb) = (
+        let (sd, bl, mb, ch) = (
             SuccessDrivenAllSat::new(),
             BlockingAllSat::new(),
             MinimizedBlockingAllSat::new(),
+            ChronoAllSat::new(),
         );
-        let engines: [(&str, &dyn AllSatEngine); 3] = [
+        let engines: [(&str, &dyn AllSatEngine); 4] = [
             ("success-driven", &sd),
             ("blocking", &bl),
             ("min-blocking", &mb),
+            ("chrono", &ch),
         ];
         for (name, engine) in engines {
             let full = engine.enumerate(&problem);
@@ -309,6 +311,67 @@ fn max_solutions_caps_enumeration() {
             }
         }
     }
+}
+
+/// Chrono-specific anytime contract: a cancelled or capped chrono run
+/// returns a pairwise-disjoint subset of the exhaustive chrono answer
+/// (the disjointness invariant survives interruption — the absorb rule
+/// never retroactively widens an emitted cube), flagged incomplete with
+/// the right stop reason.
+#[test]
+fn chrono_cancellation_and_caps_yield_disjoint_subsets() {
+    let mut rng = SplitMix64::seed_from_u64(0xA17);
+    for case in 0..10 {
+        let n = 9;
+        let k = 6;
+        let cnf = random_cnf(&mut rng, n, 24);
+        let important: Vec<Var> = Var::range(k).collect();
+        let problem = AllSatProblem::new(cnf, important);
+        let full = ChronoAllSat::new().enumerate(&problem);
+        assert!(pairwise_disjoint(&full.cubes), "case {case}: full run overlaps");
+
+        // Cancellation after a random number of events.
+        let cut = rng.gen_range(0..20) as u64;
+        let token = CancelToken::new();
+        let mut sink = CancelAfter {
+            token: token.clone(),
+            remaining: cut,
+        };
+        let limits = EnumLimits::none().with_cancel(token);
+        let result = ChronoAllSat::new().enumerate_limited(&problem, &limits, &mut sink);
+        assert_sound_partial(&result, &full, k, &format!("case {case} cut {cut} chrono"));
+        if !result.complete {
+            assert_eq!(result.stop_reason, Some(StopReason::Cancelled));
+        }
+
+        // Solution caps count minterms, exactly like the other engines.
+        let total = full.minterm_count(k);
+        for cap in [1u64, 4] {
+            let limits = EnumLimits::none().with_max_solutions(cap);
+            let result = ChronoAllSat::new().enumerate_limited(
+                &problem,
+                &limits,
+                &mut presat::obs::NullSink,
+            );
+            assert_sound_partial(&result, &full, k, &format!("case {case} cap {cap} chrono"));
+            if u128::from(cap) < total {
+                assert!(!result.complete);
+                assert_eq!(result.stop_reason, Some(StopReason::MaxSolutions));
+                assert!(result.minterm_count(k) >= u128::from(cap));
+            }
+        }
+    }
+
+    // A pre-cancelled chrono run is the honest empty incomplete answer.
+    let cnf = random_cnf(&mut rng, 6, 8);
+    let problem = AllSatProblem::new(cnf, Var::range(4).collect());
+    let token = CancelToken::new();
+    token.cancel();
+    let limits = EnumLimits::none().with_cancel(token);
+    let result =
+        ChronoAllSat::new().enumerate_limited(&problem, &limits, &mut presat::obs::NullSink);
+    assert!(!result.complete, "pre-cancelled chrono run claims completion");
+    assert_eq!(result.stop_reason, Some(StopReason::Cancelled));
 }
 
 /// An interrupted backward-reachability run returns the deepest *verified*

@@ -73,7 +73,7 @@ fn allsat_projection() {
 #[test]
 fn allsat_engine_flag() {
     let cnf = write_temp("allsat2.cnf", "p cnf 3 1\n1 -2 3 0\n");
-    for engine in ["blocking", "min-blocking", "success-driven"] {
+    for engine in ["blocking", "min-blocking", "success-driven", "chrono"] {
         let out = presat(&[
             "allsat",
             cnf.to_str().unwrap(),
@@ -115,7 +115,14 @@ fn preimage_on_aiger_counter() {
 #[test]
 fn preimage_cube_target_and_engines() {
     let path = write_temp("toggle2.bench", TOGGLE_BENCH);
-    for engine in ["blocking", "min-blocking", "success-driven", "bdd-sub", "bdd-mono"] {
+    for engine in [
+        "blocking",
+        "min-blocking",
+        "success-driven",
+        "chrono",
+        "bdd-sub",
+        "bdd-mono",
+    ] {
         let out = presat(&[
             "preimage",
             path.to_str().unwrap(),
@@ -266,6 +273,33 @@ fn stats_flag_emits_json_counters() {
     let json_line = stdout.lines().find(|l| l.starts_with('{')).expect("JSON line");
     json::validate(json_line).unwrap();
     assert_eq!(json::extract_u64(json_line, "iterations"), Some(8));
+}
+
+/// An unknown `--engine` name is a hard error on every command that takes
+/// the flag — including `image`, which used to fall through silently to
+/// the SAT path — and the error names the valid engines.
+#[test]
+fn unknown_engine_is_a_hard_error_listing_valid_engines() {
+    let circuit = write_temp("toggle-eng.bench", TOGGLE_BENCH);
+    let cnf = write_temp("eng.cnf", "p cnf 2 1\n1 2 0\n");
+    let cases: [&[&str]; 4] = [
+        &["allsat", cnf.to_str().unwrap(), "--project", "1"],
+        &["preimage", circuit.to_str().unwrap(), "--target", "0=1"],
+        &["image", circuit.to_str().unwrap(), "--source", "0=1"],
+        &["reach", circuit.to_str().unwrap(), "--target", "0=1"],
+    ];
+    for case in cases {
+        let mut args: Vec<&str> = case.to_vec();
+        args.extend(["--engine", "frobnicate"]);
+        let out = presat(&args);
+        assert_eq!(out.status.code(), Some(2), "{case:?} accepted a bogus engine");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown engine"), "{case:?}: {stderr}");
+        assert!(
+            stderr.contains("valid engines") && stderr.contains("chrono"),
+            "{case:?} error does not list valid engines: {stderr}"
+        );
+    }
 }
 
 #[test]

@@ -10,6 +10,7 @@ fn engines() -> Vec<Box<dyn PreimageEngine>> {
     vec![
         Box::new(SatPreimage::blocking()),
         Box::new(SatPreimage::min_blocking()),
+        Box::new(SatPreimage::chrono()),
         Box::new(SatPreimage::success_driven()),
         Box::new(SatPreimage::success_driven_with(SignatureMode::Static, true)),
         Box::new(SatPreimage::success_driven_with(SignatureMode::None, true)),
@@ -131,6 +132,34 @@ fn random_circuit_sweep() {
         let c = generators::random_dag(3, 4, 30, seed);
         check(&c, &StateSet::from_state_bits(seed % 16, 4));
         check(&c, &StateSet::from_partial(&[(2, seed % 2 == 0)]));
+    }
+}
+
+/// The chrono engine never asserts a blocking clause: across every
+/// generator family its `blocking_clauses` counter stays zero, its clause
+/// database never grows past the encoding (`db_clauses_peak` equals the
+/// problem clause count), and repeated runs are bit-identical.
+#[test]
+fn chrono_is_blocking_clause_free_and_deterministic() {
+    let circuits = [
+        generators::counter(4, true),
+        generators::parity(4),
+        generators::shift_register(4),
+        generators::round_robin_arbiter(2),
+        generators::lfsr(4),
+    ];
+    for c in &circuits {
+        let t = StateSet::from_partial(&[(0, true)]);
+        let a = SatPreimage::chrono().preimage(c, &t);
+        let b = SatPreimage::chrono().preimage(c, &t);
+        assert_eq!(a.states.cubes(), b.states.cubes(), "{}", c.name());
+        assert_eq!(a.stats.allsat.blocking_clauses, 0, "{}", c.name());
+        assert_eq!(
+            a.stats.allsat.db_clauses_peak, a.stats.allsat.sat.problem_clauses,
+            "{}: clause DB grew during chrono enumeration",
+            c.name()
+        );
+        assert_eq!(a.stats.allsat.sat.learnt_clauses, 0, "{}", c.name());
     }
 }
 

@@ -302,6 +302,81 @@ fn incremental_session_arena_stays_bounded_across_deep_fixed_point() {
     );
 }
 
+/// Chrono as a cold oracle for incremental sessions: after every round of
+/// group-add / enumerate / retire, a from-scratch [`ChronoAllSat`] run on
+/// the equivalent monolithic CNF (group clauses guarded by activation
+/// units, retired groups forced off) must agree semantically with the
+/// session's answer — and repeated chrono runs, including after
+/// retirement, must be bit-identical.
+#[test]
+fn chrono_cold_oracle_pins_incremental_sessions() {
+    use presat::allsat::{AllSatEngine, AllSatProblem, ChronoAllSat, EnumLimits, IncrementalAllSat, SuccessDrivenAllSat};
+    use presat::logic::rng::SplitMix64;
+    use presat::logic::{Cnf, Lit, Var};
+
+    let n = 6;
+    let mut rng = SplitMix64::seed_from_u64(0x1C7);
+    let rand_lit =
+        |rng: &mut SplitMix64| Lit::with_phase(Var::new(rng.gen_range(0..n)), rng.gen_bool(0.5));
+    let mut base: Vec<Vec<Lit>> = Vec::new();
+    for _ in 0..8 {
+        base.push((0..3).map(|_| rand_lit(&mut rng)).collect());
+    }
+    let important: Vec<Var> = Var::range(n).collect();
+    let mut base_cnf = Cnf::new(n);
+    for c in &base {
+        base_cnf.add_clause(c.clone());
+    }
+    let mut session =
+        IncrementalAllSat::new(base_cnf, important.clone(), SuccessDrivenAllSat::new(), 1);
+
+    // The cold mirror: every clause ever added, plus activation units.
+    let mut group_clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut retired: Vec<Lit> = Vec::new();
+    let mut num_vars = n;
+    for round in 0..10 {
+        let act = Lit::pos(session.add_var());
+        num_vars += 1;
+        for _ in 0..4 {
+            let mut c = vec![!act];
+            for _ in 0..3 {
+                c.push(rand_lit(&mut rng));
+            }
+            group_clauses.push(c.clone());
+            session.add_clause(c);
+        }
+        let got =
+            session.enumerate_limited(&[act], &EnumLimits::none(), &mut presat::obs::NullSink);
+        assert!(got.complete, "round {round}: session run incomplete");
+
+        // Cold chrono run on the monolithic equivalent of this round.
+        let mut cold = Cnf::new(num_vars);
+        for c in base.iter().chain(group_clauses.iter()) {
+            cold.add_clause(c.clone());
+        }
+        cold.add_clause(vec![act]);
+        for &r in &retired {
+            cold.add_clause(vec![!r]);
+        }
+        let problem = AllSatProblem::new(cold, important.clone());
+        let a = ChronoAllSat::new().enumerate(&problem);
+        let b = ChronoAllSat::new().enumerate(&problem);
+        assert_eq!(
+            a.cubes.cubes(),
+            b.cubes.cubes(),
+            "round {round}: chrono nondeterministic"
+        );
+        assert!(a.complete, "round {round}: cold chrono incomplete");
+        assert_eq!(a.stats.blocking_clauses, 0, "round {round}");
+        assert!(
+            a.cubes.semantically_eq(&got.cubes, &important),
+            "round {round}: cold chrono diverges from the incremental session"
+        );
+        retired.push(act);
+        session.retire(act);
+    }
+}
+
 /// Suite-wide oracle check honouring `PRESAT_TEST_INCREMENTAL`, so
 /// `scripts/verify.sh` exercises the ground-truth comparison in both
 /// modes.
