@@ -1,7 +1,8 @@
-//! Propagation-throughput probe (table R8 of `EXPERIMENTS.md`): the flat
-//! `u32` clause arena vs. the pre-arena Vec-of-Vec clause store, measured
-//! on pure BCP sweeps through [`Solver::propagate_under`]. Written as
-//! `BENCH_PR5.json`:
+//! Propagation-throughput probe (tables R8 and R10 of `EXPERIMENTS.md`):
+//! the flat `u32` clause arena vs. the pre-arena Vec-of-Vec clause store,
+//! measured on pure BCP sweeps through [`Solver::propagate_under`], plus a
+//! root-level inprocessing row on the churn workload. Written as
+//! `BENCH_PR7.json`:
 //!
 //! ```text
 //! cargo run --release -p presat-bench --bin propagation_throughput [out.json]
@@ -412,6 +413,12 @@ fn wide7(links: usize, probes: usize) -> Workload {
 /// into a dense arena; the pre-arena store (faithfully) keeps every
 /// tombstoned buffer, so its surviving clauses stay scattered across a
 /// many-times-larger heap.
+///
+/// Every other chain clause also gets a strictly redundant width-4
+/// superset (the three chain literals plus one junk-pool literal). The
+/// supersets never propagate anything new, so both engines do identical
+/// probe work — but they are exactly what root-level inprocessing exists
+/// to remove, which the `churn_inprocess` row measures.
 struct ChurnSetup {
     flat: Solver,
     vecvec: VecVecBcp,
@@ -446,7 +453,16 @@ fn churn(links: usize, junk_per_content: usize, groups: usize, probes: usize, se
     let mut cnf = Cnf::new(act_start + groups);
     let mut junk_indices = Vec::with_capacity(n_junk);
     let mut j = 0usize;
-    for c in content {
+    for (ci, c) in content.into_iter().enumerate() {
+        if ci % 2 == 0 {
+            let extra = Lit::with_phase(
+                Var::new(content_vars + rng.gen_range(0..junk_pool)),
+                rng.gen_bool(0.5),
+            );
+            let mut superset = c.clone();
+            superset.push(extra);
+            cnf.add_clause(superset);
+        }
         cnf.add_clause(c);
         for _ in 0..junk_per_content {
             // Groups are contiguous in junk order — retired oldest-first,
@@ -606,7 +622,7 @@ fn bench_pair(
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let samples = samples();
     // Sized so the Vec-of-Vec clause store overflows a 2 MiB L2 cache
     // while the arena stays inside it — the regime the arena is for.
@@ -643,6 +659,58 @@ fn main() {
         &c.probes,
         c.content_vars,
         true,
+    );
+
+    // Inprocessing row: the identical churn workload (same seed), but the
+    // solver runs one root-level inprocessing pass at the session boundary
+    // before probing. Subsumption deletes the redundant supersets and GC
+    // compacts them away; the Vec-of-Vec replica keeps them, exactly as
+    // the pre-inprocessing solver did. Probe outcomes and propagation
+    // counts still match — the supersets never implied anything.
+    let mut ci = churn(60_000, 3, 40, 12, 0x05EE_D60C);
+    // The default per-round budget is sized for mid-session pauses; this
+    // row measures one full boundary pass over a 90k-clause arena, so give
+    // subsumption room to reach its fixed point.
+    let mut cfg = *ci.flat.config();
+    cfg.inprocess_subsumption_checks = 20_000_000;
+    ci.flat.set_config(cfg);
+    let words_before = (ci.flat.arena_bytes() / 4) as u64;
+    let t0 = std::time::Instant::now();
+    ci.flat.inprocess();
+    let inprocess_ns = t0.elapsed().as_nanos() as u64;
+    let words_after = (ci.flat.arena_bytes() / 4) as u64;
+    let st = *ci.flat.stats();
+    println!(
+        "inprocess: {} -> {} live clause words ({} subsumed, {} lits strengthened, {} vivified) in {}",
+        words_before,
+        words_after,
+        st.subsumed_clauses,
+        st.strengthened_lits,
+        st.vivified_clauses,
+        fmt_duration(std::time::Duration::from_nanos(inprocess_ns)),
+    );
+    assert!(
+        words_after < words_before,
+        "inprocessing must shrink the churn arena ({words_before} -> {words_after} words)"
+    );
+    out.begin_object("inprocess");
+    out.field_u64("live_clause_words_before", words_before);
+    out.field_u64("live_clause_words_after", words_after);
+    out.field_u64("inprocess_ns", inprocess_ns);
+    out.field_u64("inprocess_rounds", st.inprocess_rounds);
+    out.field_u64("subsumed_clauses", st.subsumed_clauses);
+    out.field_u64("strengthened_lits", st.strengthened_lits);
+    out.field_u64("vivified_clauses", st.vivified_clauses);
+    out.end_object();
+    bench_pair(
+        &mut out,
+        samples,
+        "churn_inprocess",
+        &mut ci.flat,
+        &mut ci.vecvec,
+        &ci.probes,
+        ci.content_vars,
+        false,
     );
     let json = out.finish();
     std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark JSON");

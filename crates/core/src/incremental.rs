@@ -112,6 +112,14 @@ pub struct IncrementalAllSat {
     /// totals.
     pending_compactions: u64,
     pending_reclaimed: u64,
+    /// Root-level inprocessing work that likewise ran between calls
+    /// (`retire` runs the solver's inprocessor after dropping the group);
+    /// folded into the next call's snapshot exactly once, like the GC
+    /// counters above.
+    pending_inprocess_rounds: u64,
+    pending_subsumed: u64,
+    pending_strengthened: u64,
+    pending_vivified: u64,
 }
 
 impl IncrementalAllSat {
@@ -153,6 +161,10 @@ impl IncrementalAllSat {
             indexed_clauses,
             pending_compactions: 0,
             pending_reclaimed: 0,
+            pending_inprocess_rounds: 0,
+            pending_subsumed: 0,
+            pending_strengthened: 0,
+            pending_vivified: 0,
         }
     }
 
@@ -177,13 +189,32 @@ impl IncrementalAllSat {
     /// mirror keeps them — propagation sees them satisfied by `¬act`, so
     /// they drop out of every residual signature. Returns the number of
     /// clauses collected.
+    ///
+    /// Retirement is also the session's inprocessing point: with the
+    /// solver's [`presat_sat::SolverConfig::inprocess`] knob on (the
+    /// default), the surviving problem and learnt clauses are subsumed,
+    /// strengthened, and vivified at the root. Inprocessing is
+    /// equivalence-preserving, so enumeration results are unchanged — only
+    /// the work counters and the live clause volume move.
     pub fn retire(&mut self, act: Lit) -> u64 {
         let before = *self.solver.stats();
         let removed = self.solver.retire_group(act);
+        self.solver.inprocess();
         let after = self.solver.stats();
         self.pending_compactions += after.db_compactions - before.db_compactions;
         self.pending_reclaimed += after.clauses_reclaimed - before.clauses_reclaimed;
+        self.pending_inprocess_rounds += after.inprocess_rounds - before.inprocess_rounds;
+        self.pending_subsumed += after.subsumed_clauses - before.subsumed_clauses;
+        self.pending_strengthened += after.strengthened_lits - before.strengthened_lits;
+        self.pending_vivified += after.vivified_clauses - before.vivified_clauses;
         removed
+    }
+
+    /// Enables or disables the solver's root-level inprocessing at
+    /// retirement points (on by default; see
+    /// [`IncrementalAllSat::retire`]).
+    pub fn set_inprocess(&mut self, on: bool) {
+        self.solver.set_inprocess(on);
     }
 
     /// Number of live learnt clauses currently carried by the persistent
@@ -317,8 +348,16 @@ impl IncrementalAllSat {
         // this call's snapshot, exactly once.
         stats.sat.db_compactions += self.pending_compactions;
         stats.sat.clauses_reclaimed += self.pending_reclaimed;
+        stats.sat.inprocess_rounds += self.pending_inprocess_rounds;
+        stats.sat.subsumed_clauses += self.pending_subsumed;
+        stats.sat.strengthened_lits += self.pending_strengthened;
+        stats.sat.vivified_clauses += self.pending_vivified;
         self.pending_compactions = 0;
         self.pending_reclaimed = 0;
+        self.pending_inprocess_rounds = 0;
+        self.pending_subsumed = 0;
+        self.pending_strengthened = 0;
+        self.pending_vivified = 0;
         stats.graph_nodes = self.graph.reachable_count(root) as u64;
         let cubes = self.graph.to_cube_set(root, &self.important);
         stats.cubes_emitted = cubes.len() as u64;

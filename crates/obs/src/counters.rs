@@ -39,6 +39,17 @@ pub struct SatCounters {
     pub db_compactions: u64,
     /// Tombstoned clauses whose arena storage a compaction reclaimed.
     pub clauses_reclaimed: u64,
+    /// Root-level inprocessing rounds run at session boundaries.
+    pub inprocess_rounds: u64,
+    /// Clauses deleted because another (sub)clause subsumes them —
+    /// includes clauses satisfied by root units during inprocessing.
+    pub subsumed_clauses: u64,
+    /// Literals erased from clauses by self-subsuming resolution, root
+    /// falsification, or vivification during inprocessing.
+    pub strengthened_lits: u64,
+    /// Clauses shortened by vivification (assume the negated clause
+    /// literal-by-literal under propagation, keep the implied core).
+    pub vivified_clauses: u64,
 }
 
 impl SatCounters {
@@ -57,6 +68,10 @@ impl SatCounters {
         self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
         self.db_compactions += other.db_compactions;
         self.clauses_reclaimed += other.clauses_reclaimed;
+        self.inprocess_rounds += other.inprocess_rounds;
+        self.subsumed_clauses += other.subsumed_clauses;
+        self.strengthened_lits += other.strengthened_lits;
+        self.vivified_clauses += other.vivified_clauses;
     }
 }
 

@@ -140,6 +140,10 @@ impl Stats {
             .field_u64("arena_bytes", self.sat.arena_bytes)
             .field_u64("db_compactions", self.sat.db_compactions)
             .field_u64("clauses_reclaimed", self.sat.clauses_reclaimed)
+            .field_u64("inprocess_rounds", self.sat.inprocess_rounds)
+            .field_u64("subsumed_clauses", self.sat.subsumed_clauses)
+            .field_u64("strengthened_lits", self.sat.strengthened_lits)
+            .field_u64("vivified_clauses", self.sat.vivified_clauses)
             .end_object();
         o.begin_object("allsat")
             .field_u64("solver_calls", self.allsat.solver_calls)
@@ -188,6 +192,10 @@ impl Stats {
             "sat_arena_bytes",
             "sat_db_compactions",
             "sat_clauses_reclaimed",
+            "sat_inprocess_rounds",
+            "sat_subsumed_clauses",
+            "sat_strengthened_lits",
+            "sat_vivified_clauses",
             "allsat_solver_calls",
             "allsat_solutions",
             "allsat_blocking_clauses",
@@ -225,6 +233,10 @@ impl Stats {
             self.sat.arena_bytes,
             self.sat.db_compactions,
             self.sat.clauses_reclaimed,
+            self.sat.inprocess_rounds,
+            self.sat.subsumed_clauses,
+            self.sat.strengthened_lits,
+            self.sat.vivified_clauses,
             self.allsat.solver_calls,
             self.allsat.cubes_emitted,
             self.allsat.blocking_clauses,

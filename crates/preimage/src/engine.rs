@@ -124,6 +124,15 @@ pub trait PreimageSession {
     /// Permanently excludes `states` from all future results (adds one
     /// blocking clause per cube to the persistent solver).
     fn block_states(&mut self, states: &StateSet);
+
+    /// Enables or disables root-level solver inprocessing at the
+    /// session's retirement boundaries. Inprocessing is
+    /// equivalence-preserving, so results never change — only work
+    /// counters and the live clause volume. The default is a no-op for
+    /// sessions with no inprocessing machinery.
+    fn set_inprocess(&mut self, on: bool) {
+        let _ = on;
+    }
 }
 
 #[cfg(test)]

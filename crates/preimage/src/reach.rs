@@ -28,6 +28,12 @@ pub struct ReachOptions {
     /// solver so they are never re-derived. Bit-identical results either
     /// way; engines without sessions silently use the per-call path.
     pub incremental: bool,
+    /// Run root-level solver inprocessing at the session's retirement
+    /// boundaries (the default). Equivalence-preserving — the report is
+    /// identical either way — but keeps the persistent solver's live
+    /// clause volume down over deep fixed points. Ignored on the per-call
+    /// path (`incremental == false`), which rebuilds the solver anyway.
+    pub inprocess: bool,
     /// Resource budget for each individual preimage call (counter limits
     /// reset every iteration; a deadline here is absolute and so in
     /// practice belongs in `total_budget`).
@@ -46,6 +52,7 @@ impl Default for ReachOptions {
             max_iterations: None,
             simplify_frontier: false,
             incremental: true,
+            inprocess: true,
             step_budget: Budget::unlimited(),
             total_budget: Budget::unlimited(),
             cancel: None,
@@ -69,6 +76,13 @@ impl ReachOptions {
     /// Attaches a cancellation token.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Enables or disables session inprocessing (see
+    /// [`ReachOptions::inprocess`]).
+    pub fn with_inprocess(mut self, on: bool) -> Self {
+        self.inprocess = on;
         self
     }
 }
@@ -183,6 +197,7 @@ pub fn backward_reach_with_sink(
         None
     };
     if let Some(s) = session.as_deref_mut() {
+        s.set_inprocess(options.inprocess);
         s.block_states(target);
     }
 

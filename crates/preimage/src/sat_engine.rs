@@ -55,59 +55,49 @@ pub struct SatPreimage {
     kind: SatEngineKind,
     env: Option<CubeSet>,
     jobs: usize,
+    inprocess: bool,
 }
 
 impl SatPreimage {
-    /// Preimage via naive blocking clauses.
-    pub fn blocking() -> Self {
+    fn with_kind(kind: SatEngineKind) -> Self {
         SatPreimage {
-            kind: SatEngineKind::Blocking,
+            kind,
             env: None,
             jobs: 1,
+            inprocess: true,
         }
+    }
+
+    /// Preimage via naive blocking clauses.
+    pub fn blocking() -> Self {
+        Self::with_kind(SatEngineKind::Blocking)
     }
 
     /// Preimage via lifted blocking clauses.
     pub fn min_blocking() -> Self {
-        SatPreimage {
-            kind: SatEngineKind::MinBlocking,
-            env: None,
-            jobs: 1,
-        }
+        Self::with_kind(SatEngineKind::MinBlocking)
     }
 
     /// Preimage via blocking-clause-free chronological backtracking.
     pub fn chrono() -> Self {
-        SatPreimage {
-            kind: SatEngineKind::Chrono,
-            env: None,
-            jobs: 1,
-        }
+        Self::with_kind(SatEngineKind::Chrono)
     }
 
     /// Preimage via the success-driven solver (full configuration).
     pub fn success_driven() -> Self {
-        SatPreimage {
-            kind: SatEngineKind::SuccessDriven {
-                signature: SignatureMode::Dynamic,
-                model_guidance: true,
-            },
-            env: None,
-            jobs: 1,
-        }
+        Self::with_kind(SatEngineKind::SuccessDriven {
+            signature: SignatureMode::Dynamic,
+            model_guidance: true,
+        })
     }
 
     /// Preimage via an explicitly configured success-driven solver
     /// (ablation studies).
     pub fn success_driven_with(signature: SignatureMode, model_guidance: bool) -> Self {
-        SatPreimage {
-            kind: SatEngineKind::SuccessDriven {
-                signature,
-                model_guidance,
-            },
-            env: None,
-            jobs: 1,
-        }
+        Self::with_kind(SatEngineKind::SuccessDriven {
+            signature,
+            model_guidance,
+        })
     }
 
     /// Restricts the primary inputs to the environment `env` — a union of
@@ -131,6 +121,17 @@ impl SatPreimage {
     /// The configured worker-thread count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Enables or disables root-level inprocessing in incremental sessions
+    /// (on by default). Only sessions inprocess — retirement boundaries
+    /// are where stale groups make subsumption and vivification pay — so
+    /// this has no effect on the per-call (rebuild) path or on the
+    /// blocking baselines. Results are identical either way; only work
+    /// counters and memory move.
+    pub fn with_inprocess(mut self, on: bool) -> Self {
+        self.inprocess = on;
+        self
     }
 
     /// The configured engine kind.
@@ -253,13 +254,15 @@ impl PreimageEngine for SatPreimage {
         let config = SuccessDrivenAllSat::new()
             .with_signature(signature)
             .with_model_guidance(model_guidance);
-        Some(Box::new(SatPreimageSession::open(
+        let mut session = SatPreimageSession::open(
             circuit,
             config,
             self.jobs,
             self.env.as_ref(),
             format!("{}+incremental", PreimageEngine::name(self)),
-        )))
+        );
+        PreimageSession::set_inprocess(&mut session, self.inprocess);
+        Some(Box::new(session))
     }
 }
 

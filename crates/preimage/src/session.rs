@@ -184,6 +184,10 @@ impl PreimageSession for SatPreimageSession {
             self.inner.add_clause(clause);
         }
     }
+
+    fn set_inprocess(&mut self, on: bool) {
+        self.inner.set_inprocess(on);
+    }
 }
 
 #[cfg(test)]

@@ -278,6 +278,26 @@ impl ClauseDb {
         removed
     }
 
+    /// Iterates the refs of every live (non-tombstoned) clause in
+    /// allocation order — the scan surface for the inprocessor's
+    /// occurrence lists and the integrity audits.
+    pub(crate) fn live_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        let mut off = 0usize;
+        std::iter::from_fn(move || {
+            while off < self.arena.len() {
+                let h = self.arena[off];
+                let len = (h & LEN_MASK) as usize;
+                let learnt = h & LEARNT_BIT != 0;
+                let cref = ClauseRef(off as u32);
+                off += Self::words(len, learnt);
+                if h & DELETED_BIT == 0 {
+                    return Some(cref);
+                }
+            }
+            None
+        })
+    }
+
     /// Arena size in words (live clauses plus tombstones).
     pub(crate) fn arena_words(&self) -> usize {
         self.arena.len()

@@ -62,8 +62,9 @@ mod clause;
 mod heap;
 pub mod simplify;
 mod solver;
+mod subsume;
 mod types;
 
 pub use budget::{Budget, CancelToken};
-pub use solver::Solver;
+pub use solver::{Solver, SolverConfig};
 pub use types::{Lbool, SolveResult, SolverStats, StopReason};

@@ -13,6 +13,11 @@
 //! the simplified formula has exactly the same model set — which is what
 //! the all-solutions engines require of any preprocessing.
 //!
+//! Subsumption and self-subsumption run on the occurrence-list core in
+//! [`crate::subsume`], shared with the solver's root-level inprocessor
+//! (`Solver::inprocess`) — one well-tested engine for both the offline
+//! preprocessor and the in-arena passes.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,6 +37,8 @@ use std::collections::BTreeSet;
 
 use presat_logic::{Cnf, Lit};
 
+use crate::subsume::{Action, Subsumer};
+
 /// Counters describing what the simplifier did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimplifyStats {
@@ -45,8 +52,15 @@ pub struct SimplifyStats {
     pub proven_unsat: bool,
 }
 
-/// Canonical clause form used internally: sorted, deduplicated literal set.
-type SetClause = BTreeSet<Lit>;
+/// Canonical clause form used internally: sorted, deduplicated literals.
+type VecClause = Vec<Lit>;
+
+fn unsat_result(num_vars: usize, mut stats: SimplifyStats) -> (Cnf, SimplifyStats) {
+    stats.proven_unsat = true;
+    let mut result = Cnf::new(num_vars);
+    result.add_clause([]);
+    (result, stats)
+}
 
 /// Simplifies `cnf` to a fixed point of the three rules. Returns the
 /// simplified formula (same variable space) and statistics.
@@ -58,13 +72,17 @@ pub fn simplify_cnf(cnf: &Cnf) -> (Cnf, SimplifyStats) {
     let mut stats = SimplifyStats::default();
 
     // Canonicalize: drop tautologies, dedupe literals and clauses.
-    let mut clauses: Vec<SetClause> = Vec::with_capacity(cnf.num_clauses());
-    for clause in cnf.clauses() {
-        let set: SetClause = clause.iter().copied().collect();
-        if set.iter().any(|&l| set.contains(&!l)) {
-            continue; // tautology
+    let mut clauses: Vec<VecClause> = Vec::with_capacity(cnf.num_clauses());
+    'clauses: for clause in cnf.clauses() {
+        let mut c: VecClause = clause.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        for i in 0..c.len().saturating_sub(1) {
+            if c[i + 1] == !c[i] {
+                continue 'clauses; // tautology
+            }
         }
-        clauses.push(set);
+        clauses.push(c);
     }
     clauses.sort();
     clauses.dedup();
@@ -80,13 +98,10 @@ pub fn simplify_cnf(cnf: &Cnf) -> (Cnf, SimplifyStats) {
             let units: BTreeSet<Lit> = clauses
                 .iter()
                 .filter(|c| c.len() == 1)
-                .map(|c| *c.iter().next().expect("unit"))
+                .map(|c| c[0])
                 .collect();
             if units.iter().any(|&l| units.contains(&!l)) {
-                stats.proven_unsat = true;
-                let mut result = Cnf::new(cnf.num_vars());
-                result.add_clause([]);
-                return (result, stats);
+                return unsat_result(cnf.num_vars(), stats);
             }
             for &u in &units {
                 if seen_units.insert(u) {
@@ -94,7 +109,7 @@ pub fn simplify_cnf(cnf: &Cnf) -> (Cnf, SimplifyStats) {
                 }
             }
             let mut progressed = false;
-            let mut out: Vec<SetClause> = Vec::with_capacity(clauses.len());
+            let mut out: Vec<VecClause> = Vec::with_capacity(clauses.len());
             for c in clauses.drain(..) {
                 if c.len() == 1 {
                     out.push(c); // keep units themselves
@@ -113,10 +128,7 @@ pub fn simplify_cnf(cnf: &Cnf) -> (Cnf, SimplifyStats) {
                     progressed = true;
                 }
                 if d.is_empty() {
-                    stats.proven_unsat = true;
-                    let mut result = Cnf::new(cnf.num_vars());
-                    result.add_clause([]);
-                    return (result, stats);
+                    return unsat_result(cnf.num_vars(), stats);
                 }
                 out.push(d);
             }
@@ -129,69 +141,28 @@ pub fn simplify_cnf(cnf: &Cnf) -> (Cnf, SimplifyStats) {
             clauses.dedup();
         }
 
-        // Subsumption and self-subsuming resolution (quadratic sweep —
-        // ample for the preprocessing sizes in this workspace).
-        let mut removed = vec![false; clauses.len()];
-        let mut strengthened_any = false;
-        for i in 0..clauses.len() {
-            if removed[i] {
-                continue;
-            }
-            for j in 0..clauses.len() {
-                if i == j || removed[j] || removed[i] {
-                    continue;
-                }
-                let (small, big) = (&clauses[i], &clauses[j]);
-                if small.len() > big.len() {
-                    continue;
-                }
-                if small.is_subset(big) {
-                    removed[j] = true;
-                    stats.subsumed += 1;
-                    changed = true;
-                    continue;
-                }
-                // Self-subsumption: exactly one literal of `small` appears
-                // negated in `big`, the rest are contained.
-                let mut pivot: Option<Lit> = None;
-                let mut ok = true;
-                for &l in small {
-                    if big.contains(&l) {
-                        continue;
-                    }
-                    if big.contains(&!l) && pivot.is_none() {
-                        pivot = Some(l);
-                    } else {
-                        ok = false;
-                        break;
-                    }
-                }
-                if ok {
-                    if let Some(l) = pivot {
-                        clauses[j].remove(&!l);
-                        stats.strengthened += 1;
-                        strengthened_any = true;
-                        changed = true;
-                        if clauses[j].is_empty() {
-                            stats.proven_unsat = true;
-                            let mut result = Cnf::new(cnf.num_vars());
-                            result.add_clause([]);
-                            return (result, stats);
-                        }
-                    }
-                }
-            }
+        // Subsumption and self-subsuming resolution on the shared
+        // occurrence-list core (policy: everything is fair game — the
+        // preprocessor has no learnt/problem or binary-watcher
+        // distinctions to respect).
+        let mut sub = Subsumer::new(cnf.num_vars());
+        for c in &clauses {
+            sub.push(c);
         }
-        let mut kept: Vec<SetClause> = clauses
-            .into_iter()
-            .zip(removed)
-            .filter_map(|(c, r)| (!r).then_some(c))
-            .collect();
-        kept.sort();
-        kept.dedup();
-        clauses = kept;
+        let out = sub.run(u64::MAX, |_, _, pivot| match pivot {
+            None => Action::DeleteTarget,
+            Some(_) => Action::StrengthenTarget,
+        });
+        stats.subsumed += out.deleted;
+        stats.strengthened += out.strengthened_lits;
+        if out.unsat {
+            return unsat_result(cnf.num_vars(), stats);
+        }
+        clauses = sub.into_live_clauses();
+        clauses.sort();
+        clauses.dedup();
 
-        if !changed && !strengthened_any {
+        if !changed && out.deleted == 0 && out.strengthened_lits == 0 {
             break;
         }
     }

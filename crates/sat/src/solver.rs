@@ -9,17 +9,65 @@ use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::types::{Lbool, SolveResult, SolverStats, StopReason};
 
-/// A watch-list entry: the clause plus a *blocker* literal whose satisfaction
-/// lets propagation skip the clause without touching its literal array.
+// Root-level inprocessing lives in a sibling file but is a *child* module
+// of `solver`, so it can reach the solver's private fields without
+// widening their visibility.
+#[path = "inprocess.rs"]
+mod inprocess;
+pub use inprocess::SolverConfig;
+
+/// A watch-list entry for a clause of length ≥ 3: the clause plus a
+/// *blocker* literal whose satisfaction lets propagation skip the clause
+/// without touching its literal array.
 ///
-/// For a binary clause the blocker *is* the clause's only other literal, so
-/// propagation can resolve the clause (satisfied / unit / conflicting)
-/// entirely from the watcher — the `binary` flag marks that fast path.
+/// Binary clauses do not live here at all — they get dedicated watch lists
+/// (`Solver::bin_watches`) holding just the implied literal, so long-clause
+/// visits never pay a `binary` branch and binary visits never carry a
+/// `ClauseRef` (their reasons are encoded as [`Reason::Binary`]).
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
     cref: ClauseRef,
     blocker: Lit,
-    binary: bool,
+}
+
+/// Value of `lit` under a raw assignment slice. Free function so hot
+/// loops can evaluate literals while other solver fields are mutably
+/// borrowed (see `Solver::propagate`).
+#[inline]
+fn lit_val(assigns: &[Lbool], lit: Lit) -> Lbool {
+    let v = assigns[lit.var().index()];
+    if lit.is_pos() {
+        v
+    } else {
+        !v
+    }
+}
+
+/// Why a literal is on the trail.
+///
+/// Binary implications carry the clause's *other* literal instead of an
+/// arena reference: conflict analysis only ever needs the antecedent
+/// literals, and encoding them inline keeps binary propagation entirely out
+/// of the clause arena (and frees garbage collection from remapping binary
+/// reason slots — there is nothing to remap).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum Reason {
+    /// A decision, an assumption, or a level-0 unit.
+    #[default]
+    None,
+    /// Implied by a clause of length ≥ 3 in the arena.
+    Long(ClauseRef),
+    /// Implied by a binary clause; the payload is the clause's other (now
+    /// falsified) literal.
+    Binary(Lit),
+}
+
+/// A conflicting antecedent: either an arena clause or an inline binary
+/// clause whose two literals are both falsified.
+#[derive(Clone, Copy, Debug)]
+enum Conflict {
+    Long(ClauseRef),
+    Binary(Lit, Lit),
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -65,15 +113,25 @@ const TIME_POLL_STRIDE: u64 = 64;
 #[derive(Clone, Debug)]
 pub struct Solver {
     db: ClauseDb,
-    /// Indexed by `lit.code()`: watchers of clauses that must be inspected
-    /// when `lit` becomes **true** (they watch `!lit`).
+    /// Indexed by `lit.code()`: watchers of clauses (length ≥ 3) that must
+    /// be inspected when `lit` becomes **true** (they watch `!lit`).
     watches: Vec<Vec<Watcher>>,
+    /// Indexed by `lit.code()`: for every binary clause `{!lit, other}`,
+    /// the literal `other` implied when `lit` becomes true. Resolving a
+    /// binary clause never touches the arena; entries are permanent
+    /// (binary clauses are never deleted).
+    bin_watches: Vec<Vec<Lit>>,
     assigns: Vec<Lbool>,
     levels: Vec<u32>,
-    reasons: Vec<Option<ClauseRef>>,
+    reasons: Vec<Reason>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
+    /// Scratch for `propagate`: watchers migrating to another literal's
+    /// list are buffered here during a scan and appended afterwards, so
+    /// the scanned list can stay under one split borrow. Always empty
+    /// outside `propagate`.
+    watch_moves: Vec<(Lit, Watcher)>,
     order: VarHeap,
     activity: Vec<f64>,
     var_inc: f64,
@@ -102,6 +160,8 @@ pub struct Solver {
     /// is full. The clause set no longer faithfully represents the input,
     /// so every later solve answers `Unknown(ResourceExhausted)`.
     resource_exhausted: bool,
+    /// Root-level inprocessing knobs (see [`SolverConfig`]).
+    config: SolverConfig,
 }
 
 impl Solver {
@@ -110,12 +170,14 @@ impl Solver {
         let mut s = Solver {
             db: ClauseDb::new(),
             watches: Vec::new(),
+            bin_watches: Vec::new(),
             assigns: Vec::new(),
             levels: Vec::new(),
             reasons: Vec::new(),
             trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
+            watch_moves: Vec::new(),
             order: VarHeap::new(0),
             activity: Vec::new(),
             var_inc: 1.0,
@@ -132,6 +194,7 @@ impl Solver {
             cancel: None,
             has_limits: false,
             resource_exhausted: false,
+            config: SolverConfig::default(),
         };
         s.grow_to(num_vars);
         s
@@ -238,12 +301,14 @@ impl Solver {
         while self.assigns.len() < num_vars {
             self.assigns.push(Lbool::Undef);
             self.levels.push(0);
-            self.reasons.push(None);
+            self.reasons.push(Reason::None);
             self.activity.push(0.0);
             self.phase.push(false);
             self.seen.push(false);
             self.watches.push(Vec::new());
             self.watches.push(Vec::new());
+            self.bin_watches.push(Vec::new());
+            self.bin_watches.push(Vec::new());
             self.order.grow(self.assigns.len());
             self.order
                 .insert(Var::new(self.assigns.len() - 1), &self.activity);
@@ -253,12 +318,7 @@ impl Solver {
     /// Current value of a literal.
     #[inline]
     fn lit_value(&self, lit: Lit) -> Lbool {
-        let v = self.assigns[lit.var().index()];
-        if lit.is_pos() {
-            v
-        } else {
-            !v
-        }
+        lit_val(&self.assigns, lit)
     }
 
     /// Current value of a variable (exposed for diagnostics and tests).
@@ -312,7 +372,7 @@ impl Solver {
                 false
             }
             1 => {
-                self.enqueue(simplified[0], None);
+                self.enqueue(simplified[0], Reason::None);
                 self.ok = self.propagate().is_none();
                 self.ok
             }
@@ -349,25 +409,21 @@ impl Solver {
     fn attach(&mut self, cref: ClauseRef) {
         let m = self.db.meta(cref);
         debug_assert!(m.len >= 2);
-        let (l0, l1, binary) = (
-            self.db.lit_at(m.start),
-            self.db.lit_at(m.start + 1),
-            m.len == 2,
-        );
-        self.watches[(!l0).code()].push(Watcher {
-            cref,
-            blocker: l1,
-            binary,
-        });
-        self.watches[(!l1).code()].push(Watcher {
-            cref,
-            blocker: l0,
-            binary,
-        });
+        let (l0, l1) = (self.db.lit_at(m.start), self.db.lit_at(m.start + 1));
+        if m.len == 2 {
+            // Binary clauses get literal-only watch entries; the arena copy
+            // exists for cloning, statistics, and the inprocessor's
+            // occurrence scans, but propagation never reads it.
+            self.bin_watches[(!l0).code()].push(l1);
+            self.bin_watches[(!l1).code()].push(l0);
+        } else {
+            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        }
     }
 
     #[inline]
-    fn enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+    fn enqueue(&mut self, lit: Lit, reason: Reason) {
         debug_assert!(self.lit_value(lit).is_undef());
         let v = lit.var().index();
         self.assigns[v] = Lbool::from_bool(lit.is_pos());
@@ -376,52 +432,79 @@ impl Solver {
         self.trail.push(lit);
     }
 
-    /// Unit propagation; returns the conflicting clause if one arises.
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    /// Unit propagation; returns the conflicting antecedent if one arises.
+    ///
+    /// Traversal is index-based throughout — no watch list is ever moved
+    /// out of its slot, so every outstanding `ClauseRef` stays reachable
+    /// from `self.watches` at all times (the garbage collector relies on
+    /// this) and conflict exits pay no restore step.
+    fn propagate(&mut self) -> Option<Conflict> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            let pc = p.code();
 
-            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            // Binary watch pass: each entry is the clause's other literal,
+            // so the clause is decided right here without ever fetching the
+            // arena. The list never changes during the scan (binary clauses
+            // are never deleted and enqueues touch only the trail).
+            for bi in 0..self.bin_watches[pc].len() {
+                let other = self.bin_watches[pc][bi];
+                match self.lit_value(other) {
+                    Lbool::True => {}
+                    Lbool::False => {
+                        self.stats.binary_skips += 1;
+                        self.qhead = self.trail.len();
+                        return Some(Conflict::Binary(!p, other));
+                    }
+                    Lbool::Undef => {
+                        self.stats.binary_skips += 1;
+                        self.enqueue(other, Reason::Binary(!p));
+                    }
+                }
+            }
+
+            // Long-clause watch pass: every entry is length ≥ 3, so there
+            // is no per-visit binary branch left on this path. Split
+            // borrows keep the scanned list's pointer/length in registers
+            // for the whole scan (`ws`) while the arena, assignment, and
+            // trail are reached through disjoint fields. Watchers that
+            // migrate to another literal's list are buffered in
+            // `watch_moves` — the target is never `pc`'s own list (the new
+            // watch is non-false while `p`'s is false) — and appended
+            // after the scan, including on the conflict exit, so every
+            // live clause stays reachable from `self.watches` at all
+            // times (the garbage collector relies on this).
+            let s = &mut *self;
+            let false_lit = !p;
+            let dl = s.trail_lim.len() as u32;
+            let db = &mut s.db;
+            let assigns = &mut s.assigns;
+            let ws = &mut s.watches[pc];
+            let mut conflict = None;
             let mut i = 0;
             while i < ws.len() {
                 let w = ws[i];
                 // Fast path: blocker already satisfied.
-                if self.lit_value(w.blocker) == Lbool::True {
-                    i += 1;
-                    continue;
-                }
-                // Binary fast path: the blocker is the clause's only other
-                // literal, so the clause is decided right here without ever
-                // fetching the arena (binary clauses are never deleted —
-                // `reduce_db` skips clauses of length ≤ 2).
-                if w.binary {
-                    self.stats.binary_skips += 1;
-                    if self.lit_value(w.blocker) == Lbool::False {
-                        self.watches[p.code()] = ws;
-                        self.qhead = self.trail.len();
-                        return Some(w.cref);
-                    }
-                    self.enqueue(w.blocker, Some(w.cref));
+                if lit_val(assigns, w.blocker) == Lbool::True {
                     i += 1;
                     continue;
                 }
                 // One header read serves the whole visit; literal words are
                 // addressed absolutely from `m.start` with no indirection.
-                let m = self.db.meta(w.cref);
+                let m = db.meta(w.cref);
                 if m.deleted {
                     ws.swap_remove(i);
                     continue;
                 }
-                let false_lit = !p;
                 // Normalize: watched false literal at position 1.
-                if self.db.lit_at(m.start) == false_lit {
-                    self.db.swap_words(m.start, m.start + 1);
+                if db.lit_at(m.start) == false_lit {
+                    db.swap_words(m.start, m.start + 1);
                 }
-                debug_assert_eq!(self.db.lit_at(m.start + 1), false_lit);
-                let first = self.db.lit_at(m.start);
-                if first != w.blocker && self.lit_value(first) == Lbool::True {
+                debug_assert_eq!(db.lit_at(m.start + 1), false_lit);
+                let first = db.lit_at(m.start);
+                if first != w.blocker && lit_val(assigns, first) == Lbool::True {
                     ws[i].blocker = first;
                     i += 1;
                     continue;
@@ -429,14 +512,16 @@ impl Solver {
                 // Look for a replacement watch.
                 let mut replaced = false;
                 for k in 2..m.len {
-                    let lk = self.db.lit_at(m.start + k);
-                    if self.lit_value(lk) != Lbool::False {
-                        self.db.swap_words(m.start + 1, m.start + k);
-                        self.watches[(!lk).code()].push(Watcher {
-                            cref: w.cref,
-                            blocker: first,
-                            binary: false,
-                        });
+                    let lk = db.lit_at(m.start + k);
+                    if lit_val(assigns, lk) != Lbool::False {
+                        db.swap_words(m.start + 1, m.start + k);
+                        s.watch_moves.push((
+                            !lk,
+                            Watcher {
+                                cref: w.cref,
+                                blocker: first,
+                            },
+                        ));
                         ws.swap_remove(i);
                         replaced = true;
                         break;
@@ -446,16 +531,27 @@ impl Solver {
                     continue;
                 }
                 // Clause is unit or conflicting under the current trail.
-                if self.lit_value(first) == Lbool::False {
-                    // Conflict: put the remaining watchers back and bail.
-                    self.watches[p.code()] = ws;
-                    self.qhead = self.trail.len();
-                    return Some(w.cref);
+                if lit_val(assigns, first) == Lbool::False {
+                    conflict = Some(Conflict::Long(w.cref));
+                    break;
                 }
-                self.enqueue(first, Some(w.cref));
+                // Inline enqueue (self is partially borrowed here).
+                debug_assert!(lit_val(assigns, first).is_undef());
+                let v = first.var().index();
+                assigns[v] = Lbool::from_bool(first.is_pos());
+                s.levels[v] = dl;
+                s.reasons[v] = Reason::Long(w.cref);
+                s.trail.push(first);
                 i += 1;
             }
-            self.watches[p.code()] = ws;
+            // Apply deferred migrations in scan order before any exit.
+            for (lit, mw) in s.watch_moves.drain(..) {
+                s.watches[lit.code()].push(mw);
+            }
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
         }
         None
     }
@@ -474,7 +570,7 @@ impl Solver {
             let v = lit.var();
             self.phase[v.index()] = lit.is_pos();
             self.assigns[v.index()] = Lbool::Undef;
-            self.reasons[v.index()] = None;
+            self.reasons[v.index()] = Reason::None;
             self.order.insert(v, &self.activity);
         }
         self.trail.truncate(bound);
@@ -508,9 +604,25 @@ impl Solver {
         }
     }
 
+    /// Marks one antecedent literal during conflict analysis: bumps its
+    /// variable and either extends the conflict path or the learnt clause.
+    #[inline]
+    fn analyze_mark(&mut self, q: Lit, learnt: &mut Vec<Lit>, path_count: &mut u32) {
+        let v = q.var();
+        if !self.seen[v.index()] && self.levels[v.index()] > 0 {
+            self.bump_var(v);
+            self.seen[v.index()] = true;
+            if self.levels[v.index()] as usize >= self.decision_level() {
+                *path_count += 1;
+            } else {
+                learnt.push(q);
+            }
+        }
+    }
+
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
     /// literal first), the backtrack level, and the clause's LBD.
-    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, usize, u32) {
+    fn analyze(&mut self, conflict: Conflict) -> (Vec<Lit>, usize, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for UIP
         let mut path_count = 0u32;
         let mut p: Option<Lit> = None;
@@ -518,28 +630,33 @@ impl Solver {
         let mut confl = conflict;
 
         loop {
-            let m = self.db.meta(confl);
-            if m.learnt {
-                self.bump_clause(confl);
-            }
             // Skip the implied literal of a reason clause by value, not by
-            // position: the binary propagation fast path never normalizes
-            // the literal order, so it may sit at either index. Reading by
-            // index (no clause copy) is safe: `bump_var` never touches the
-            // arena.
-            for k in 0..m.len {
-                let q = self.db.lit_at(m.start + k);
-                if Some(q) == p {
-                    continue;
+            // position: propagation never normalizes the implied literal's
+            // position, so it may sit at either index. Reading by index (no
+            // clause copy) is safe: `bump_var` never touches the arena.
+            match confl {
+                Conflict::Long(cref) => {
+                    let m = self.db.meta(cref);
+                    if m.learnt {
+                        self.bump_clause(cref);
+                    }
+                    for k in 0..m.len {
+                        let q = self.db.lit_at(m.start + k);
+                        if Some(q) == p {
+                            continue;
+                        }
+                        self.analyze_mark(q, &mut learnt, &mut path_count);
+                    }
                 }
-                let v = q.var();
-                if !self.seen[v.index()] && self.levels[v.index()] > 0 {
-                    self.bump_var(v);
-                    self.seen[v.index()] = true;
-                    if self.levels[v.index()] as usize >= self.decision_level() {
-                        path_count += 1;
-                    } else {
-                        learnt.push(q);
+                Conflict::Binary(a, b) => {
+                    // Inline binary antecedent: no arena access, no clause
+                    // bump (binary clauses are never reduction candidates,
+                    // so their activity is never consulted).
+                    for q in [a, b] {
+                        if Some(q) == p {
+                            continue;
+                        }
+                        self.analyze_mark(q, &mut learnt, &mut path_count);
                     }
                 }
             }
@@ -557,8 +674,14 @@ impl Solver {
             if path_count == 0 {
                 break;
             }
-            confl = self.reasons[pl.var().index()]
-                .expect("non-decision literal on conflict path must have a reason");
+            confl = match self.reasons[pl.var().index()] {
+                Reason::Long(cref) => Conflict::Long(cref),
+                // The implied literal `pl` is skipped above via `p`.
+                Reason::Binary(other) => Conflict::Binary(pl, other),
+                Reason::None => {
+                    unreachable!("non-decision literal on conflict path must have a reason")
+                }
+            };
         }
         learnt[0] = !p.expect("analysis visits at least one literal");
 
@@ -613,16 +736,22 @@ impl Solver {
     /// literals (all antecedents of its reason are already seen or level 0).
     fn literal_redundant(&self, lit: Lit) -> bool {
         let v = lit.var().index();
-        let Some(reason) = self.reasons[v] else {
-            return false;
-        };
         // The reason's implied literal (same variable as `lit`) is skipped
         // by variable, not by position — see the note in `analyze`.
-        let m = self.db.meta(reason);
-        (0..m.len).all(|k| {
-            let qv = self.db.lit_at(m.start + k).var().index();
-            qv == v || self.seen[qv] || self.levels[qv] == 0
-        })
+        match self.reasons[v] {
+            Reason::None => false,
+            Reason::Binary(other) => {
+                let qv = other.var().index();
+                self.seen[qv] || self.levels[qv] == 0
+            }
+            Reason::Long(reason) => {
+                let m = self.db.meta(reason);
+                (0..m.len).all(|k| {
+                    let qv = self.db.lit_at(m.start + k).var().index();
+                    qv == v || self.seen[qv] || self.levels[qv] == 0
+                })
+            }
+        }
     }
 
     /// Computes the failed-assumption core after assumption `p` was found
@@ -641,11 +770,16 @@ impl Solver {
                 continue;
             }
             match self.reasons[xv] {
-                None => {
+                Reason::None => {
                     // A decision in the assumption prefix is an assumption.
                     self.core.push(x);
                 }
-                Some(r) => {
+                Reason::Binary(other) => {
+                    if self.levels[other.var().index()] > 0 {
+                        self.seen[other.var().index()] = true;
+                    }
+                }
+                Reason::Long(r) => {
                     let m = self.db.meta(r);
                     for k in 0..m.len {
                         let q = self.db.lit_at(m.start + k);
@@ -701,14 +835,17 @@ impl Solver {
 
     fn is_locked(&self, cref: ClauseRef) -> bool {
         let first = self.db.lit(cref, 0);
-        self.lit_value(first) == Lbool::True && self.reasons[first.var().index()] == Some(cref)
+        self.lit_value(first) == Lbool::True
+            && self.reasons[first.var().index()] == Reason::Long(cref)
     }
 
     /// Compacts the clause arena if tombstones hold a quarter or more of
     /// it (and it is big enough to bother). Safe at any decision level:
-    /// `propagate` always restores the watch list it borrowed before
-    /// returning, so every outstanding `ClauseRef` lives in `watches`,
-    /// `reasons`, or `db.learnts` — all rewired here.
+    /// watch lists are never moved out of their slots (propagation
+    /// traverses them in place), so every outstanding `ClauseRef` lives in
+    /// `watches`, `reasons`, or `db.learnts` — all rewired here. Binary
+    /// watch entries and binary reasons carry literals, not refs, so they
+    /// need no rewiring at all.
     fn maybe_collect_garbage(&mut self) {
         let words = self.db.arena_words();
         if words >= GC_MIN_WORDS && self.db.wasted_words() * GC_WASTE_DENOM >= words {
@@ -734,20 +871,21 @@ impl Solver {
             });
         }
         for (v, slot) in self.reasons.iter_mut().enumerate() {
-            if slot.is_none() {
+            let Reason::Long(cref) = *slot else {
+                // Decisions and binary reasons hold no arena ref.
                 continue;
-            }
+            };
             if self.assigns[v].is_undef() || self.levels[v] == 0 {
                 // Level-0 / retracted reason slots are never consulted
                 // (analysis only follows literals above level 0), so drop
                 // them rather than keep a ref to a possibly-dead clause.
-                *slot = None;
+                *slot = Reason::None;
             } else {
                 // An assigned variable above level 0 has a *locked* reason
                 // clause; locked clauses are never deleted, so remap always
                 // succeeds.
-                *slot = Some(
-                    map.remap(slot.expect("checked above"))
+                *slot = Reason::Long(
+                    map.remap(cref)
                         .expect("reason of an assigned variable must be live"),
                 );
             }
@@ -852,7 +990,7 @@ impl Solver {
                 // re-established by the decision loop below.
                 self.cancel_until(bt_level);
                 if learnt.len() == 1 {
-                    self.enqueue(learnt[0], None);
+                    self.enqueue(learnt[0], Reason::None);
                 } else {
                     match self.db.alloc(&learnt, true, lbd) {
                         Ok(cref) => {
@@ -860,7 +998,12 @@ impl Solver {
                             self.note_arena_size();
                             self.stats.learnt_clauses += 1;
                             self.bump_clause(cref);
-                            self.enqueue(learnt[0], Some(cref));
+                            let reason = if learnt.len() == 2 {
+                                Reason::Binary(learnt[1])
+                            } else {
+                                Reason::Long(cref)
+                            };
+                            self.enqueue(learnt[0], reason);
                         }
                         Err(_) => {
                             // Dropping a learnt clause is sound (it is
@@ -920,7 +1063,7 @@ impl Solver {
                         }
                         Lbool::Undef => {
                             self.new_decision_level();
-                            self.enqueue(p, None);
+                            self.enqueue(p, Reason::None);
                         }
                     }
                     continue;
@@ -931,7 +1074,7 @@ impl Solver {
                         self.stats.decisions += 1;
                         self.new_decision_level();
                         let lit = Lit::with_phase(v, self.phase[v.index()]);
-                        self.enqueue(lit, None);
+                        self.enqueue(lit, Reason::None);
                     }
                 }
             }
@@ -965,7 +1108,7 @@ impl Solver {
                 }
                 Lbool::Undef => {
                     self.new_decision_level();
-                    self.enqueue(p, None);
+                    self.enqueue(p, Reason::None);
                     if self.propagate().is_some() {
                         failed = true;
                         break;
@@ -1145,7 +1288,7 @@ impl Solver {
         debug_assert!(self.lit_value(lit).is_undef(), "decide on assigned {lit}");
         self.stats.decisions += 1;
         self.new_decision_level();
-        self.enqueue(lit, None);
+        self.enqueue(lit, Reason::None);
         if self.propagate().is_some() {
             self.stats.conflicts += 1;
             return false;
@@ -1232,8 +1375,7 @@ impl Solver {
                     // collection must have dropped all of them.
                     continue;
                 }
-                assert!(m.len >= 2, "watched clause too short");
-                assert_eq!(w.binary, m.len == 2, "binary flag out of sync");
+                assert!(m.len >= 3, "binary clause in the long watch lists");
                 let l0 = self.db.lit_at(m.start);
                 let l1 = self.db.lit_at(m.start + 1);
                 assert!(
@@ -1242,13 +1384,43 @@ impl Solver {
                 );
             }
         }
+        // Binary watch entries carry no refs; audit them against an arena
+        // scan instead: every live binary clause must contribute exactly
+        // its two entries, and nothing else may be present (multiset
+        // equality — duplicate clauses are legal).
+        let mut expect: std::collections::HashMap<(u32, u32), i64> = std::collections::HashMap::new();
+        for cref in self.db.live_refs() {
+            let m = self.db.meta(cref);
+            if m.len != 2 {
+                continue;
+            }
+            let (l0, l1) = (self.db.lit_at(m.start), self.db.lit_at(m.start + 1));
+            *expect.entry(((!l0).code() as u32, l1.code() as u32)).or_default() += 1;
+            *expect.entry(((!l1).code() as u32, l0.code() as u32)).or_default() += 1;
+        }
+        for (code, bs) in self.bin_watches.iter().enumerate() {
+            for &other in bs {
+                let e = expect.entry((code as u32, other.code() as u32)).or_default();
+                *e -= 1;
+                assert!(*e >= 0, "binary watcher without a live arena clause");
+            }
+        }
+        assert!(
+            expect.values().all(|&c| c == 0),
+            "live binary clause missing a watch entry"
+        );
         for (v, slot) in self.reasons.iter().enumerate() {
-            if let Some(r) = slot {
-                assert!(
-                    !self.assigns[v].is_undef(),
-                    "reason slot on an unassigned variable"
-                );
-                assert!(!self.db.is_deleted(*r), "reason clause tombstoned");
+            match slot {
+                Reason::None => {}
+                Reason::Binary(_) | Reason::Long(_) => {
+                    assert!(
+                        !self.assigns[v].is_undef(),
+                        "reason slot on an unassigned variable"
+                    );
+                    if let Reason::Long(r) = slot {
+                        assert!(!self.db.is_deleted(*r), "reason clause tombstoned");
+                    }
+                }
             }
         }
         for &c in &self.db.learnts {

@@ -12,7 +12,11 @@
 #                    faithful replica of the pre-arena Vec-of-Vec store:
 #                    BCP sweeps, resident clause bytes, worker-clone cost);
 #   BENCH_PR6.json — clause-DB flatness probe (peak clause-DB size vs
-#                    solution count, blocking vs chrono enumeration).
+#                    solution count, blocking vs chrono enumeration);
+#   BENCH_PR7.json — propagation-throughput rerun after the binary-watch
+#                    split plus the root-level inprocessing row (live
+#                    clause words before/after on the churn workload).
+#                    Supersedes BENCH_PR5.json, kept for history.
 #
 # All binaries assert result equality between the compared configurations
 # before timing anything, so a successful run is also a determinism check.
@@ -26,12 +30,12 @@ cargo build --release --offline -p presat-bench
 ./target/release/thread_scaling BENCH_PR2.json
 ./target/release/reach_incremental BENCH_PR3.json
 ./target/release/budget_overhead BENCH_PR4.json
-./target/release/propagation_throughput BENCH_PR5.json
+./target/release/propagation_throughput BENCH_PR7.json
 ./target/release/chrono_db_flatness BENCH_PR6.json
 
 # Show how the checked-in numbers moved (informational; timings drift with
 # hardware, the structure should not).
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
-  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json || true
+  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json || true
 fi
 echo "bench: OK"

@@ -27,6 +27,13 @@ PRESAT_TEST_JOBS=4 cargo test -q -p presat --test differential --offline
 PRESAT_TEST_INCREMENTAL=0 cargo test -q -p presat --test incremental --offline
 PRESAT_TEST_INCREMENTAL=1 cargo test -q -p presat --test incremental --offline
 
+# Root-level inprocessing is equivalence-preserving, so the determinism
+# suites must hold with it on (the default) and off. The incremental and
+# inprocess suites honour PRESAT_TEST_INPROCESS; =0 additionally proves
+# the off switch is a true no-op on every identity asserted there.
+PRESAT_TEST_INPROCESS=0 cargo test -q -p presat --test incremental --test inprocess --offline
+PRESAT_TEST_INPROCESS=1 cargo test -q -p presat --test incremental --test inprocess --offline
+
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # Lint gate: unordered float comparisons must use total_cmp, never
@@ -85,7 +92,8 @@ if ! printf '%s\n' "$smoke_out" | grep -q '"arena_bytes":[1-9]'; then
   printf '%s\n' "$smoke_out" >&2
   exit 1
 fi
-for field in db_compactions clauses_reclaimed cones_skipped; do
+for field in db_compactions clauses_reclaimed cones_skipped \
+    inprocess_rounds subsumed_clauses strengthened_lits vivified_clauses; do
   if ! printf '%s\n' "$smoke_out" | grep -q "\"$field\":"; then
     echo "verify: FAIL — stats JSON missing the $field counter" >&2
     printf '%s\n' "$smoke_out" >&2
@@ -95,12 +103,16 @@ done
 
 # Propagation-throughput smoke: the bench binary cross-checks the flat
 # arena against a replica of the pre-arena clause store probe-by-probe,
-# so one cheap sample doubles as a layout-equivalence test.
-PRESAT_BENCH_SAMPLES=1 timeout 120 ./target/release/propagation_throughput \
-  "$smoke_dir/bench_pr5.json" > /dev/null
-if ! grep -q '"churn":{' "$smoke_dir/bench_pr5.json"; then
-  echo "verify: FAIL — propagation_throughput produced no churn record" >&2
-  exit 1
-fi
+# so one cheap sample doubles as a layout-equivalence test. The binary
+# also asserts internally that the inprocessing row shrinks the churn
+# arena's live clause words.
+PRESAT_BENCH_SAMPLES=1 timeout 300 ./target/release/propagation_throughput \
+  "$smoke_dir/bench_pr7.json" > /dev/null
+for record in churn churn_inprocess inprocess; do
+  if ! grep -q "\"$record\":{" "$smoke_dir/bench_pr7.json"; then
+    echo "verify: FAIL — propagation_throughput produced no $record record" >&2
+    exit 1
+  fi
+done
 
 echo "verify: OK"

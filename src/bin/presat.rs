@@ -24,6 +24,12 @@
 //! `--jobs <n>` runs the success-driven enumeration on `n` worker threads
 //! (`0` = auto-detect, default 1); the output is bit-identical at every
 //! thread count.
+//! `--no-inprocess` disables root-level solver inprocessing at incremental
+//! session boundaries (subsumption, self-subsuming resolution,
+//! vivification). Inprocessing is equivalence-preserving, so results are
+//! identical either way — only work counters and live clause volume move.
+//! Combining `--engine` with an option the selected engine ignores prints
+//! a one-line warning on stderr naming the options that engine consumes.
 //! `reach` drives the fixed point through one persistent solver session by
 //! default (`--incremental`); `--no-incremental` rebuilds the encoding per
 //! iteration. The report is bit-identical either way.
@@ -107,6 +113,9 @@ fn print_usage() {
          \x20        --jobs <n>  success-driven worker threads (0 = auto,\n\
          \x20                    default 1; the result is bit-identical at\n\
          \x20                    every thread count)\n\
+         \x20        --no-inprocess  disable root-level inprocessing at\n\
+         \x20                    incremental session boundaries (results are\n\
+         \x20                    identical either way; only counters move)\n\
          \x20        --timeout-ms <n>       wall-clock budget (solve/allsat/reach);\n\
          \x20                    on expiry the run stops with a partial result\n\
          \x20                    flagged incomplete, never a fake UNSAT\n\
@@ -233,23 +242,76 @@ fn jobs_from_flag(args: &[String]) -> Result<usize, String> {
 /// The `--engine` names the circuit commands accept, for error messages.
 const CIRCUIT_ENGINES: &str = "blocking, min-blocking, success-driven, chrono, bdd-sub, bdd-mono";
 
+/// Parses `--inprocess` / `--no-inprocess` (default: on). Inprocessing is
+/// equivalence-preserving, so this only moves work counters, never results.
+fn inprocess_from_flags(args: &[String]) -> Result<bool, String> {
+    if has_flag(args, "--inprocess") && has_flag(args, "--no-inprocess") {
+        return Err("--inprocess and --no-inprocess are mutually exclusive".into());
+    }
+    Ok(!has_flag(args, "--no-inprocess"))
+}
+
+/// Engine-tunable options and the engines that consume them. Any other
+/// engine silently ignores the flag, which [`warn_ignored_engine_flags`]
+/// turns into a visible stderr warning.
+const ENGINE_FLAGS: &[(&str, &[&str])] = &[
+    ("--jobs", &["success-driven"]),
+    ("--inprocess", &["success-driven"]),
+    ("--no-inprocess", &["success-driven"]),
+];
+
+/// Warns once on stderr when `--engine` is combined with engine-tunable
+/// options the selected engine ignores, listing what it does consume.
+/// A typo'd pipeline otherwise runs to completion with the option silently
+/// dropped — e.g. `--engine chrono --jobs 8` enumerating single-threaded.
+fn warn_ignored_engine_flags(args: &[String], engine: &str) {
+    let ignored: Vec<&str> = ENGINE_FLAGS
+        .iter()
+        .filter(|(flag, consumers)| has_flag(args, flag) && !consumers.contains(&engine))
+        .map(|(flag, _)| *flag)
+        .collect();
+    if ignored.is_empty() {
+        return;
+    }
+    let consumed: Vec<&str> = ENGINE_FLAGS
+        .iter()
+        .filter(|(_, consumers)| consumers.contains(&engine))
+        .map(|(flag, _)| *flag)
+        .collect();
+    let consumes = if consumed.is_empty() {
+        String::from("no engine-specific options")
+    } else {
+        consumed.join(", ")
+    };
+    eprintln!(
+        "warning: engine {engine:?} ignores {}; it consumes {consumes}",
+        ignored.join(", ")
+    );
+}
+
 fn sat_engine_from_flag(args: &[String]) -> Result<Box<dyn PreimageEngine>, String> {
     let jobs = jobs_from_flag(args)?;
-    Ok(
-        match flag_value(args, "--engine").unwrap_or("success-driven") {
-            "blocking" => Box::new(SatPreimage::blocking()),
-            "min-blocking" => Box::new(SatPreimage::min_blocking()),
-            "chrono" => Box::new(SatPreimage::chrono()),
-            "success-driven" => Box::new(SatPreimage::success_driven().with_jobs(jobs)),
-            "bdd-sub" => Box::new(BddPreimage::substitution()),
-            "bdd-mono" => Box::new(BddPreimage::monolithic()),
-            other => {
-                return Err(format!(
-                    "unknown engine {other:?} (valid engines: {CIRCUIT_ENGINES})"
-                ))
-            }
-        },
-    )
+    let inprocess = inprocess_from_flags(args)?;
+    let name = flag_value(args, "--engine").unwrap_or("success-driven");
+    let engine: Box<dyn PreimageEngine> = match name {
+        "blocking" => Box::new(SatPreimage::blocking()),
+        "min-blocking" => Box::new(SatPreimage::min_blocking()),
+        "chrono" => Box::new(SatPreimage::chrono()),
+        "success-driven" => Box::new(
+            SatPreimage::success_driven()
+                .with_jobs(jobs)
+                .with_inprocess(inprocess),
+        ),
+        "bdd-sub" => Box::new(BddPreimage::substitution()),
+        "bdd-mono" => Box::new(BddPreimage::monolithic()),
+        other => {
+            return Err(format!(
+                "unknown engine {other:?} (valid engines: {CIRCUIT_ENGINES})"
+            ))
+        }
+    };
+    warn_ignored_engine_flags(args, name);
+    Ok(engine)
 }
 
 fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
@@ -320,6 +382,7 @@ fn cmd_allsat(args: &[String]) -> Result<ExitCode, String> {
     let engine_name = flag_value(args, "--engine").unwrap_or("success-driven");
     let jobs = jobs_from_flag(args)?;
     let limits = limits_from_flags(args)?;
+    warn_ignored_engine_flags(args, engine_name);
     let timer = Timer::start();
     let result = match engine_name {
         "blocking" => BlockingAllSat::new().enumerate_limited(&problem, &limits, &mut NullSink),
@@ -419,7 +482,9 @@ fn cmd_image(args: &[String]) -> Result<ExitCode, String> {
     // which SAT engine was named, but an unrecognized name must still be a
     // hard error — a typo silently falling through to the SAT path used to
     // mask itself as a valid run.
-    let result = match flag_value(args, "--engine").unwrap_or("success-driven") {
+    let engine_name = flag_value(args, "--engine").unwrap_or("success-driven");
+    warn_ignored_engine_flags(args, engine_name);
+    let result = match engine_name {
         "bdd-sub" | "bdd-mono" => bdd_image(&circuit, &source),
         "blocking" | "min-blocking" | "success-driven" | "chrono" => sat_image(&circuit, &source),
         other => {
@@ -469,6 +534,7 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
             // the rebuild-per-iteration escape hatch. Results are
             // bit-identical either way.
             incremental: !has_flag(args, "--no-incremental"),
+            inprocess: inprocess_from_flags(args)?,
             total_budget: limits.budget,
             ..ReachOptions::default()
         },

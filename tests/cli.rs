@@ -302,6 +302,109 @@ fn unknown_engine_is_a_hard_error_listing_valid_engines() {
     }
 }
 
+/// Combining `--engine` with an option that engine ignores used to be a
+/// silent no-op (e.g. `--engine chrono --jobs 8` enumerating on one
+/// thread). Now it warns once on stderr, naming the options the selected
+/// engine consumes — without changing the result or the exit status.
+#[test]
+fn engine_ignored_flags_warn_on_stderr() {
+    let circuit = write_temp("toggle-warn.bench", TOGGLE_BENCH);
+    let out = presat(&[
+        "preimage",
+        circuit.to_str().unwrap(),
+        "--target",
+        "0=1",
+        "--engine",
+        "chrono",
+        "--jobs",
+        "4",
+    ]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning") && stderr.contains("--jobs") && stderr.contains("chrono"),
+        "no ignored-flag warning: {stderr}"
+    );
+    assert_eq!(
+        stderr.matches("warning").count(),
+        1,
+        "warning must appear exactly once: {stderr}"
+    );
+    // The consuming engine gets no warning.
+    let out = presat(&[
+        "preimage",
+        circuit.to_str().unwrap(),
+        "--target",
+        "0=1",
+        "--engine",
+        "success-driven",
+        "--jobs",
+        "2",
+    ]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.is_empty(), "spurious warning: {stderr}");
+    // A BDD engine consumes none of the engine-tunable options; the
+    // warning says so.
+    let out = presat(&[
+        "reach",
+        circuit.to_str().unwrap(),
+        "--target",
+        "0=1",
+        "--engine",
+        "bdd-sub",
+        "--no-inprocess",
+    ]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--no-inprocess") && stderr.contains("no engine-specific options"),
+        "{stderr}"
+    );
+}
+
+/// `--no-inprocess` is accepted by the circuit commands and never changes
+/// the result — inprocessing is equivalence-preserving.
+#[test]
+fn no_inprocess_flag_preserves_results() {
+    let path = write_temp("cnt3i.aag", COUNTER3_AAG);
+    let on = presat(&["reach", path.to_str().unwrap(), "--target", "0"]);
+    let off = presat(&[
+        "reach",
+        path.to_str().unwrap(),
+        "--target",
+        "0",
+        "--no-inprocess",
+    ]);
+    assert!(on.status.success() && off.status.success());
+    // Per-iteration wall times vary run to run; compare everything else.
+    let strip_times = |raw: &[u8]| -> Vec<String> {
+        String::from_utf8_lossy(raw)
+            .lines()
+            .map(|l| match l.find(" in ") {
+                Some(i) => l[..i].to_string(),
+                None => l.to_string(),
+            })
+            .collect()
+    };
+    assert_eq!(
+        strip_times(&on.stdout),
+        strip_times(&off.stdout),
+        "inprocessing changed the report"
+    );
+    // The two spellings together are rejected.
+    let out = presat(&[
+        "reach",
+        path.to_str().unwrap(),
+        "--target",
+        "0",
+        "--inprocess",
+        "--no-inprocess",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
 #[test]
 fn usage_without_arguments() {
     let out = presat(&[]);
