@@ -1,0 +1,324 @@
+//! Cube-balance sweep (table R11 of `EXPERIMENTS.md`): static prefix
+//! partitioning vs adaptive cube-and-conquer (lookahead-scored initial
+//! split plus dynamic work splitting) on the success-driven preimage
+//! workloads at 1, 2 and 4 worker threads, written as `BENCH_PR8.json`.
+//! Run via `scripts/bench.sh` or directly:
+//!
+//! ```text
+//! cargo run --release -p presat-bench --bin cube_balance [out.json]
+//! ```
+//!
+//! Two sections:
+//!
+//! * `preimage_step` — one-step preimages with the spawn gate disabled
+//!   (`par_threshold = 0`), so both partitioners really run the worker
+//!   fleet even when the encoding is small. Each record carries the
+//!   sequential baseline, per-mode medians, speedups at 4 threads, the
+//!   *default-configuration* numbers (`gated_*`: spawn gate active, which
+//!   on a host without hardware parallelism correctly refuses to spawn),
+//!   and the balance counters (`cubes_split`, `lookahead_probes`,
+//!   `max_cube_conflicts`, `steal_waits`) of one adaptive 4-thread run.
+//! * `reach_gate` — backward reachability on deliberately tiny circuits
+//!   with the *default* spawn gate active: the adaptive gate must keep the
+//!   4-thread engine within noise of 1 thread by never spawning the fleet
+//!   on encodings too small to amortize it (`ratio_x4` ≈ 1).
+//!
+//! Every timed case first asserts that both partitioning modes produce a
+//! state set structurally identical to the sequential engine's — the
+//! numbers are only meaningful if the engines do the same job. The JSON
+//! records `cpu_count` so readers can judge the speedups against the
+//! hardware: on a single-CPU host the threads serialize and speedup ≈ 1
+//! is the honest expected outcome.
+
+use presat_bench::harness::fmt_duration;
+use presat_bench::workloads::{reach_workloads, scaling_workload, suite, Workload};
+use presat_obs::json::{self, JsonObject};
+use presat_preimage::{backward_reach, PreimageEngine, ReachOptions, SatPreimage};
+
+const JOBS: [usize; 3] = [1, 2, 4];
+
+fn samples() -> usize {
+    std::env::var("PRESAT_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// The preimage engine under test: success-driven, `jobs` workers, the
+/// spawn gate disabled so the partitioner really runs, and the requested
+/// partitioning mode.
+fn engine(jobs: usize, adaptive: bool) -> SatPreimage {
+    SatPreimage::success_driven()
+        .with_jobs(jobs)
+        .with_adaptive(adaptive)
+        .with_par_threshold(0)
+}
+
+/// Times one step workload across both partitioning modes and appends a
+/// `{label: {...}}` record with the sequential baseline, per-mode medians
+/// and 4-thread speedups, plus the balance counters of one adaptive run.
+///
+/// The configurations are sampled *interleaved* — round-robin, one run of
+/// each per round — rather than one `measure` group after another, so
+/// machine-load drift over the sweep biases every configuration equally
+/// instead of whichever ran last. The last configuration is the *default*
+/// one (spawn gate active at 4 threads): what a user who just says
+/// `--jobs 4` gets. On hosts with real parallelism the gate lets steps
+/// this size fan out; on a single-CPU host it routes them sequentially,
+/// so jobs 4 stays at parity with 1 thread instead of paying fleet
+/// overhead for nothing.
+fn step_case(out: &mut JsonObject, w: &Workload, samples: usize) {
+    type Run = Box<dyn Fn(&Workload) -> u64>;
+    let configs: Vec<(String, Run)> = std::iter::once((
+        "seq_ns".to_string(),
+        Box::new(|w: &Workload| {
+            SatPreimage::success_driven()
+                .preimage(&w.circuit, &w.target)
+                .stats
+                .result_cubes
+        }) as Run,
+    ))
+    .chain([("static", false), ("adaptive", true)].into_iter().flat_map(
+        |(mode, adaptive)| {
+            JOBS[1..].iter().map(move |&jobs| {
+                (
+                    format!("{mode}_jobs_{jobs}_ns"),
+                    Box::new(move |w: &Workload| {
+                        engine(jobs, adaptive)
+                            .preimage(&w.circuit, &w.target)
+                            .stats
+                            .result_cubes
+                    }) as Run,
+                )
+            })
+        },
+    ))
+    .chain([
+        // Forced split storm: threshold 1 makes every cube that survives
+        // a single conflict split, so the dynamic-splitting machinery is
+        // actually exercised (the suite workloads rarely conflict at the
+        // default threshold of 1024).
+        (
+            "storm_jobs_4_ns".to_string(),
+            Box::new(|w: &Workload| {
+                engine(4, true)
+                    .with_split_threshold(1)
+                    .preimage(&w.circuit, &w.target)
+                    .stats
+                    .result_cubes
+            }) as Run,
+        ),
+        (
+            "gated_jobs_4_ns".to_string(),
+            Box::new(|w: &Workload| {
+                SatPreimage::success_driven()
+                    .with_jobs(4)
+                    .preimage(&w.circuit, &w.target)
+                    .stats
+                    .result_cubes
+            }) as Run,
+        ),
+    ])
+    .collect();
+
+    // Round-robin sampling; round 0 is the untimed warm-up.
+    let mut times: Vec<Vec<u64>> = vec![Vec::with_capacity(samples); configs.len()];
+    for round in 0..=samples {
+        for (slot, (_, run)) in configs.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(run(w));
+            let ns = t0.elapsed().as_nanos() as u64;
+            if round > 0 {
+                times[slot].push(ns);
+            }
+        }
+    }
+
+    out.begin_object(&w.label);
+    let mut medians = Vec::with_capacity(configs.len());
+    for (slot, (field, _)) in configs.iter().enumerate() {
+        times[slot].sort_unstable();
+        let median = times[slot][times[slot].len() / 2];
+        medians.push(median);
+        println!(
+            "{:<28} {:<18} median {:>10}  (min {}, max {})",
+            w.label,
+            field.trim_end_matches("_ns"),
+            fmt_duration(std::time::Duration::from_nanos(median)),
+            fmt_duration(std::time::Duration::from_nanos(times[slot][0])),
+            fmt_duration(std::time::Duration::from_nanos(
+                times[slot][times[slot].len() - 1]
+            )),
+        );
+        out.field_u64(field, median);
+    }
+    let seq_ns = medians[0];
+    for (slot, (field, _)) in configs.iter().enumerate() {
+        let Some(mode) = field.strip_suffix("_jobs_4_ns") else {
+            continue;
+        };
+        let speedup = if medians[slot] == 0 {
+            0.0
+        } else {
+            seq_ns as f64 / medians[slot] as f64
+        };
+        out.field_f64(&format!("{mode}_speedup_x4"), round3(speedup));
+    }
+
+    // Balance counters from one adaptive 4-thread run: how many dynamic
+    // splits fired, how much lookahead was spent scoring, how lopsided the
+    // worst finished cube still was, and how often workers idled.
+    let balance = engine(4, true).preimage(&w.circuit, &w.target);
+    out.field_u64("cubes_split", balance.stats.allsat.cubes_split)
+        .field_u64(
+            "lookahead_probes",
+            balance.stats.allsat.sat.lookahead_probes,
+        )
+        .field_u64(
+            "max_cube_conflicts",
+            balance.stats.allsat.max_cube_conflicts,
+        )
+        .field_u64("steal_waits", balance.stats.allsat.steal_waits);
+    // And from the forced storm, where splitting actually fires.
+    let storm = engine(4, true)
+        .with_split_threshold(1)
+        .preimage(&w.circuit, &w.target);
+    out.field_u64("storm_cubes_split", storm.stats.allsat.cubes_split)
+        .field_u64("storm_steal_waits", storm.stats.allsat.steal_waits);
+    out.end_object();
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let samples = samples();
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("# cube balance sweep ({samples} samples per case, {cpus} CPU(s) available)");
+
+    let mut o = JsonObject::new();
+    o.field_str("bench", "cube_balance")
+        .field_u64("cpu_count", cpus as u64)
+        .field_u64("samples", samples as u64);
+
+    // The step suite spans the structural regimes the partitioners care
+    // about: parity11 (balanced, every cube equally hard), rnd6x8
+    // (irregular random logic), cmp6 (correlated outputs), and cnt12e — a
+    // deliberately skewed family whose preimage is a single state, so all
+    // but one initial cube is immediately UNSAT and static partitioning
+    // strands the whole workload on one worker.
+    let step_workloads: Vec<Workload> = suite()
+        .into_iter()
+        .filter(|w| matches!(w.label.as_str(), "rnd6x8" | "cmp6" | "cnt12e"))
+        .chain([scaling_workload(11)])
+        .collect();
+
+    // Determinism gate: before timing anything, check structural equality
+    // against the sequential engine for both modes on every workload we
+    // are about to measure.
+    for w in &step_workloads {
+        let seq = SatPreimage::success_driven().preimage(&w.circuit, &w.target);
+        for &jobs in &JOBS[1..] {
+            for adaptive in [false, true] {
+                let par = engine(jobs, adaptive).preimage(&w.circuit, &w.target);
+                assert_eq!(
+                    par.states.cubes(),
+                    seq.states.cubes(),
+                    "{}: adaptive={adaptive} result diverged at jobs={jobs}",
+                    w.label
+                );
+            }
+        }
+    }
+
+    o.begin_object("preimage_step");
+    for w in &step_workloads {
+        step_case(&mut o, w, samples);
+    }
+    o.end_object();
+
+    // Spawn-gate check: tiny reachability workloads at the *default*
+    // threshold. A 4-thread engine must stay within noise of 1 thread
+    // because the gate routes every under-threshold step to the
+    // sequential path instead of paying fleet startup per iteration.
+    o.begin_object("reach_gate");
+    for w in reach_workloads() {
+        let seq = backward_reach(
+            &SatPreimage::success_driven(),
+            &w.circuit,
+            &w.target,
+            ReachOptions::default(),
+        );
+        let par = backward_reach(
+            &SatPreimage::success_driven().with_jobs(4),
+            &w.circuit,
+            &w.target,
+            ReachOptions::default(),
+        );
+        assert_eq!(
+            par.reached.cubes(),
+            seq.reached.cubes(),
+            "{}: gated parallel reach diverged",
+            w.label
+        );
+
+        // Interleaved like step_case: these workloads run in the tens to
+        // hundreds of microseconds, where back-to-back `measure` groups
+        // let machine-load drift masquerade as a jobs-count effect.
+        let mut times: [Vec<u64>; 2] = [Vec::with_capacity(samples), Vec::with_capacity(samples)];
+        for round in 0..=samples {
+            for (slot, jobs) in [1usize, 4].into_iter().enumerate() {
+                let t0 = std::time::Instant::now();
+                std::hint::black_box(
+                    backward_reach(
+                        &SatPreimage::success_driven().with_jobs(jobs),
+                        &w.circuit,
+                        &w.target,
+                        ReachOptions::default(),
+                    )
+                    .reached_states,
+                );
+                let ns = t0.elapsed().as_nanos() as u64;
+                if round > 0 {
+                    times[slot].push(ns);
+                }
+            }
+        }
+        let mut medians = [0u64; 2];
+        for (slot, jobs) in [1usize, 4].into_iter().enumerate() {
+            times[slot].sort_unstable();
+            medians[slot] = times[slot][times[slot].len() / 2];
+            println!(
+                "{:<28} gated    jobs={jobs}  median {:>10}  (min {}, max {})",
+                w.label,
+                fmt_duration(std::time::Duration::from_nanos(medians[slot])),
+                fmt_duration(std::time::Duration::from_nanos(times[slot][0])),
+                fmt_duration(std::time::Duration::from_nanos(
+                    times[slot][times[slot].len() - 1]
+                )),
+            );
+        }
+        let ratio = if medians[1] == 0 {
+            0.0
+        } else {
+            medians[0] as f64 / medians[1] as f64
+        };
+        o.begin_object(&w.label);
+        o.field_u64("jobs_1_ns", medians[0])
+            .field_u64("jobs_4_ns", medians[1])
+            .field_f64("ratio_x4", round3(ratio));
+        o.end_object();
+    }
+    o.end_object();
+
+    let text = o.finish();
+    json::validate(&text).expect("emitted JSON must be well-formed");
+    std::fs::write(&out_path, format!("{text}\n")).expect("cannot write output file");
+    println!("wrote {out_path}");
+}

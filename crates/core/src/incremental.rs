@@ -46,7 +46,7 @@ use presat_sat::{Budget, Solver};
 
 use crate::engine::{AllSatResult, EnumerationStats};
 use crate::limits::EnumLimits;
-use crate::parallel::enumerate_partitioned;
+use crate::parallel::{enumerate_partitioned, ParTuning};
 use crate::signature::{ConnectivityIndex, ResidualIndex};
 use crate::solution_graph::{SolutionGraph, SolutionNodeId};
 use crate::success_driven::{Search, SigKey, SignatureMode, SuccessDrivenAllSat};
@@ -92,6 +92,10 @@ use crate::success_driven::{Search, SigKey, SignatureMode, SuccessDrivenAllSat};
 pub struct IncrementalAllSat {
     config: SuccessDrivenAllSat,
     jobs: usize,
+    /// Parallel-partitioner tuning (adaptive splitting, spawn gate). The
+    /// default keeps `par_threshold = 0` so a session constructed with
+    /// `jobs > 1` always partitions; the preimage layer raises the gate.
+    tuning: ParTuning,
     /// Mirror of the solver's problem clauses (not its learnt clauses):
     /// the signature machinery reads clause *contents*, which the solver
     /// does not expose. Retired groups stay in the mirror — their
@@ -152,6 +156,7 @@ impl IncrementalAllSat {
         IncrementalAllSat {
             config,
             jobs,
+            tuning: ParTuning::default(),
             cnf,
             important,
             solver,
@@ -217,6 +222,12 @@ impl IncrementalAllSat {
         self.solver.set_inprocess(on);
     }
 
+    /// Sets the parallel-partitioner tuning (adaptive cube splitting and
+    /// the sequential spawn gate) used by `jobs > 1` enumerations.
+    pub fn set_tuning(&mut self, tuning: ParTuning) {
+        self.tuning = tuning;
+    }
+
     /// Number of live learnt clauses currently carried by the persistent
     /// solver (the `learnts_carried` observability counter).
     pub fn live_learnts(&self) -> usize {
@@ -264,13 +275,14 @@ impl IncrementalAllSat {
         let mut stats;
         let root;
         let stop: Option<StopReason>;
-        if jobs > 1 && k > 0 {
+        if jobs > 1 && k > 0 && !self.tuning.gates_sequential(k, self.cnf.num_clauses()) {
             // Partitioned: workers clone the persistent solver at the root
             // (inheriting its learnt clauses and phases) and merge into the
             // persistent graph. Per-worker learnts die with the workers —
             // learnt *carrying* is the sequential path's job.
             let (r, s, st) = enumerate_partitioned(
                 self.config,
+                self.tuning,
                 jobs,
                 &self.cnf,
                 &self.important,
@@ -311,6 +323,7 @@ impl IncrementalAllSat {
                 stats: EnumerationStats::default(),
                 prefix_lits: assumptions.to_vec(),
                 prefix_vals: Vec::with_capacity(k),
+                forced: Vec::new(),
                 model_guidance: self.config.model_guidance,
                 sink,
                 max_solutions: limits.max_solutions,

@@ -50,6 +50,9 @@ pub struct SatCounters {
     /// Clauses shortened by vivification (assume the negated clause
     /// literal-by-literal under propagation, keep the implied core).
     pub vivified_clauses: u64,
+    /// Lookahead probes (`probe_lit`) run to score candidate splitting
+    /// variables for adaptive cube-and-conquer partitioning.
+    pub lookahead_probes: u64,
 }
 
 impl SatCounters {
@@ -72,6 +75,7 @@ impl SatCounters {
         self.subsumed_clauses += other.subsumed_clauses;
         self.strengthened_lits += other.strengthened_lits;
         self.vivified_clauses += other.vivified_clauses;
+        self.lookahead_probes += other.lookahead_probes;
     }
 }
 
@@ -131,6 +135,16 @@ pub struct AllSatCounters {
     /// reads. Constant in the solution count for the chrono engine, linear
     /// for the blocking baselines.
     pub db_clauses_peak: u64,
+    /// Dynamic cube splits performed by the adaptive parallel engine: a
+    /// cube whose enumeration crossed the split threshold was abandoned
+    /// and re-queued as two child cubes.
+    pub cubes_split: u64,
+    /// Peak CDCL conflict count spent inside one (finished) cube — a
+    /// gauge of partition balance: absorbing snapshots takes the maximum.
+    pub max_cube_conflicts: u64,
+    /// Times a parallel worker went to sleep waiting for the shared work
+    /// queue to refill (a gauge of fleet idleness under poor balance).
+    pub steal_waits: u64,
     /// Full counter snapshot of the underlying CDCL solver.
     pub sat: SatCounters,
 }
@@ -153,6 +167,9 @@ impl AllSatCounters {
         self.cancelled_cubes += other.cancelled_cubes;
         self.chrono_backtracks += other.chrono_backtracks;
         self.db_clauses_peak = self.db_clauses_peak.max(other.db_clauses_peak);
+        self.cubes_split += other.cubes_split;
+        self.max_cube_conflicts = self.max_cube_conflicts.max(other.max_cube_conflicts);
+        self.steal_waits += other.steal_waits;
         self.sat.absorb(&other.sat);
     }
 }

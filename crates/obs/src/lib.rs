@@ -144,6 +144,7 @@ impl Stats {
             .field_u64("subsumed_clauses", self.sat.subsumed_clauses)
             .field_u64("strengthened_lits", self.sat.strengthened_lits)
             .field_u64("vivified_clauses", self.sat.vivified_clauses)
+            .field_u64("lookahead_probes", self.sat.lookahead_probes)
             .end_object();
         o.begin_object("allsat")
             .field_u64("solver_calls", self.allsat.solver_calls)
@@ -158,6 +159,9 @@ impl Stats {
             .field_u64("cancelled_cubes", self.allsat.cancelled_cubes)
             .field_u64("chrono_backtracks", self.allsat.chrono_backtracks)
             .field_u64("db_clauses_peak", self.allsat.db_clauses_peak)
+            .field_u64("cubes_split", self.allsat.cubes_split)
+            .field_u64("max_cube_conflicts", self.allsat.max_cube_conflicts)
+            .field_u64("steal_waits", self.allsat.steal_waits)
             .end_object();
         o.begin_object("preimage")
             .field_u64("result_cubes", self.preimage.result_cubes)
@@ -196,6 +200,7 @@ impl Stats {
             "sat_subsumed_clauses",
             "sat_strengthened_lits",
             "sat_vivified_clauses",
+            "sat_lookahead_probes",
             "allsat_solver_calls",
             "allsat_solutions",
             "allsat_blocking_clauses",
@@ -208,6 +213,9 @@ impl Stats {
             "allsat_cancelled_cubes",
             "allsat_chrono_backtracks",
             "allsat_db_clauses_peak",
+            "allsat_cubes_split",
+            "allsat_max_cube_conflicts",
+            "allsat_steal_waits",
             "preimage_result_cubes",
             "preimage_iterations",
             "preimage_bdd_nodes",
@@ -237,6 +245,7 @@ impl Stats {
             self.sat.subsumed_clauses,
             self.sat.strengthened_lits,
             self.sat.vivified_clauses,
+            self.sat.lookahead_probes,
             self.allsat.solver_calls,
             self.allsat.cubes_emitted,
             self.allsat.blocking_clauses,
@@ -249,6 +258,9 @@ impl Stats {
             self.allsat.cancelled_cubes,
             self.allsat.chrono_backtracks,
             self.allsat.db_clauses_peak,
+            self.allsat.cubes_split,
+            self.allsat.max_cube_conflicts,
+            self.allsat.steal_waits,
             self.preimage.result_cubes,
             self.preimage.iterations,
             self.preimage.bdd_nodes,

@@ -133,6 +133,17 @@ pub trait PreimageSession {
     fn set_inprocess(&mut self, on: bool) {
         let _ = on;
     }
+
+    /// Sets the parallel spawn gate (see
+    /// [`presat_allsat::ParTuning::par_threshold`]): enumerations whose
+    /// `important × clauses` product falls below `threshold` run
+    /// sequentially even when the session was opened with `jobs > 1`
+    /// (`0` = always parallel). Results never change — the parallel and
+    /// sequential paths are bit-identical — only scheduling does. The
+    /// default is a no-op for sessions with no parallel mode.
+    fn set_parallel_threshold(&mut self, threshold: u64) {
+        let _ = threshold;
+    }
 }
 
 #[cfg(test)]

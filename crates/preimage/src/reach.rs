@@ -44,6 +44,15 @@ pub struct ReachOptions {
     /// Cooperative cancellation: polled by the running engine (SAT kinds)
     /// and between iterations (every engine).
     pub cancel: Option<CancelToken>,
+    /// Override for the session's parallel spawn gate (see
+    /// [`crate::PreimageSession::set_parallel_threshold`]): iterations
+    /// whose encoding falls below the threshold run sequentially even with
+    /// `jobs > 1`, `Some(0)` forces every iteration parallel, and `None`
+    /// (the default) inherits the engine's own setting. Results are
+    /// bit-identical either way. Like `inprocess`, this is a session knob:
+    /// the per-call path (`incremental == false`) takes the threshold from
+    /// the engine itself.
+    pub parallel_threshold: Option<u64>,
 }
 
 impl Default for ReachOptions {
@@ -56,6 +65,7 @@ impl Default for ReachOptions {
             step_budget: Budget::unlimited(),
             total_budget: Budget::unlimited(),
             cancel: None,
+            parallel_threshold: None,
         }
     }
 }
@@ -83,6 +93,13 @@ impl ReachOptions {
     /// [`ReachOptions::inprocess`]).
     pub fn with_inprocess(mut self, on: bool) -> Self {
         self.inprocess = on;
+        self
+    }
+
+    /// Overrides the session's parallel spawn gate (see
+    /// [`ReachOptions::parallel_threshold`]).
+    pub fn with_parallel_threshold(mut self, threshold: u64) -> Self {
+        self.parallel_threshold = Some(threshold);
         self
     }
 }
@@ -198,6 +215,9 @@ pub fn backward_reach_with_sink(
     };
     if let Some(s) = session.as_deref_mut() {
         s.set_inprocess(options.inprocess);
+        if let Some(threshold) = options.parallel_threshold {
+            s.set_parallel_threshold(threshold);
+        }
         s.block_states(target);
     }
 

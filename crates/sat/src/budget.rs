@@ -9,11 +9,10 @@
 //! [`SolveResult::Unknown`](crate::SolveResult::Unknown) with a
 //! [`StopReason`], **never** as a spurious `Unsat`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-#[allow(unused_imports)] // referenced by doc links
 use crate::types::StopReason;
 
 /// Resource limits for a solver's upcoming work.
@@ -100,6 +99,90 @@ impl CancelToken {
     }
 }
 
+/// A shared counter-budget pool for partitioned (multi-worker) search.
+///
+/// A [`Budget`]'s counter limits installed per worker multiply: N workers
+/// each given "1000 conflicts" may jointly spend 1000·N. A `BudgetPool`
+/// instead holds *one* pot of conflicts/propagations that every clone
+/// draws from: workers periodically [`charge`](BudgetPool::charge) the
+/// work they did since their last charge, and the first charge that
+/// crosses a limit — on whichever worker — trips the matching
+/// [`StopReason`] for the whole fleet. Charging is a single
+/// `fetch_add` per counter, so the pot may overshoot by at most one
+/// batch (one conflict, when charged per conflict) per worker.
+///
+/// Wall-clock deadlines need no pool — an absolute [`Budget::deadline`]
+/// is already shared by construction.
+#[derive(Clone, Debug)]
+pub struct BudgetPool {
+    inner: Arc<PoolInner>,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    /// `u64::MAX` means unlimited.
+    conflict_limit: u64,
+    /// `u64::MAX` means unlimited.
+    propagation_limit: u64,
+    conflicts_spent: AtomicU64,
+    propagations_spent: AtomicU64,
+}
+
+impl BudgetPool {
+    /// Builds a pool holding `budget`'s counter limits, or `None` if the
+    /// budget has no counter limits (a deadline alone needs no pool).
+    pub fn from_budget(budget: &Budget) -> Option<BudgetPool> {
+        if budget.conflicts.is_none() && budget.propagations.is_none() {
+            return None;
+        }
+        Some(BudgetPool {
+            inner: Arc::new(PoolInner {
+                conflict_limit: budget.conflicts.unwrap_or(u64::MAX),
+                propagation_limit: budget.propagations.unwrap_or(u64::MAX),
+                conflicts_spent: AtomicU64::new(0),
+                propagations_spent: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Draws `conflicts`/`propagations` units from the pot and reports the
+    /// first limit now crossed, if any. Charging zero units is a pure
+    /// exhaustion check.
+    pub fn charge(&self, conflicts: u64, propagations: u64) -> Option<StopReason> {
+        let inner = &*self.inner;
+        let spent_c = inner
+            .conflicts_spent
+            .fetch_add(conflicts, Ordering::Relaxed)
+            .saturating_add(conflicts);
+        if spent_c >= inner.conflict_limit {
+            return Some(StopReason::Conflicts);
+        }
+        let spent_p = inner
+            .propagations_spent
+            .fetch_add(propagations, Ordering::Relaxed)
+            .saturating_add(propagations);
+        if spent_p >= inner.propagation_limit {
+            return Some(StopReason::Propagations);
+        }
+        None
+    }
+
+    /// `Some(reason)` once the pot has been drawn past a limit.
+    pub fn exhausted(&self) -> Option<StopReason> {
+        self.charge(0, 0)
+    }
+
+    /// Total conflicts charged so far (for accounting and tests).
+    pub fn conflicts_spent(&self) -> u64 {
+        self.inner.conflicts_spent.load(Ordering::Relaxed)
+    }
+
+    /// Total propagations charged so far (for accounting and tests).
+    pub fn propagations_spent(&self) -> u64 {
+        self.inner.propagations_spent.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +196,33 @@ mod tests {
         assert!(!Budget::default()
             .with_timeout(Duration::from_millis(1))
             .is_unlimited());
+    }
+
+    #[test]
+    fn pool_clones_share_one_pot() {
+        let pool = BudgetPool::from_budget(&Budget::unlimited().with_conflicts(3)).unwrap();
+        let clone = pool.clone();
+        assert!(pool.exhausted().is_none());
+        assert_eq!(clone.charge(2, 0), None);
+        assert_eq!(pool.charge(1, 0), Some(StopReason::Conflicts));
+        assert_eq!(clone.exhausted(), Some(StopReason::Conflicts));
+        assert_eq!(pool.conflicts_spent(), 3);
+    }
+
+    #[test]
+    fn pool_needs_a_counter_limit() {
+        assert!(BudgetPool::from_budget(&Budget::unlimited()).is_none());
+        assert!(BudgetPool::from_budget(
+            &Budget::unlimited().with_timeout(Duration::from_millis(1))
+        )
+        .is_none());
+        assert!(BudgetPool::from_budget(&Budget::unlimited().with_propagations(7)).is_some());
+    }
+
+    #[test]
+    fn zero_budget_pool_is_born_exhausted() {
+        let pool = BudgetPool::from_budget(&Budget::unlimited().with_conflicts(0)).unwrap();
+        assert_eq!(pool.exhausted(), Some(StopReason::Conflicts));
     }
 
     #[test]

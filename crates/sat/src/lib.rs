@@ -65,6 +65,6 @@ mod solver;
 mod subsume;
 mod types;
 
-pub use budget::{Budget, CancelToken};
+pub use budget::{Budget, BudgetPool, CancelToken};
 pub use solver::{Solver, SolverConfig};
 pub use types::{Lbool, SolveResult, SolverStats, StopReason};

@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use presat_logic::{Assignment, Cnf, Lit, Var};
 
-use crate::budget::{Budget, CancelToken};
+use crate::budget::{Budget, BudgetPool, CancelToken};
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::types::{Lbool, SolveResult, SolverStats, StopReason};
@@ -153,6 +153,15 @@ pub struct Solver {
     deadline: Option<Instant>,
     /// Cooperative cancellation flag shared with other threads.
     cancel: Option<CancelToken>,
+    /// Shared counter-budget pool installed by [`Solver::set_pool`]:
+    /// partitioned-search workers all draw conflicts/propagations from
+    /// this one pot instead of each spending a full private budget.
+    pool: Option<BudgetPool>,
+    /// Cumulative `stats.conflicts` already charged to `pool` — the
+    /// baseline that [`Solver::charge_pool`] computes its delta against.
+    pool_charged_conflicts: u64,
+    /// Cumulative `stats.propagations` already charged to `pool`.
+    pool_charged_propagations: u64,
     /// Cached `limit_* / deadline / cancel is set` so the search hot loop
     /// pays one predicted branch when no budget is installed.
     has_limits: bool,
@@ -192,6 +201,9 @@ impl Solver {
             limit_propagations: None,
             deadline: None,
             cancel: None,
+            pool: None,
+            pool_charged_conflicts: 0,
+            pool_charged_propagations: 0,
             has_limits: false,
             resource_exhausted: false,
             config: SolverConfig::default(),
@@ -260,11 +272,38 @@ impl Solver {
         self.update_has_limits();
     }
 
+    /// Attaches (or with `None` detaches) a shared [`BudgetPool`]. While
+    /// attached, every poll point additionally charges this solver's
+    /// conflict/propagation deltas against the pool; a pool limit tripping
+    /// surfaces as `Unknown` with the matching [`StopReason`], exactly like
+    /// a private budget. The charge baseline starts at the solver's
+    /// *current* counters, so only work done after attachment is charged.
+    pub fn set_pool(&mut self, pool: Option<BudgetPool>) {
+        self.pool = pool;
+        self.pool_charged_conflicts = self.stats.conflicts;
+        self.pool_charged_propagations = self.stats.propagations;
+        self.update_has_limits();
+    }
+
+    /// Charges work done since the last charge to the shared pool and
+    /// reports the first pool limit now crossed, if any. No-op without a
+    /// pool. Also a pure exhaustion check when nothing new happened (a
+    /// sibling worker may have drained the pot).
+    fn charge_pool(&mut self) -> Option<StopReason> {
+        let pool = self.pool.as_ref()?;
+        let dc = self.stats.conflicts - self.pool_charged_conflicts;
+        let dp = self.stats.propagations - self.pool_charged_propagations;
+        self.pool_charged_conflicts = self.stats.conflicts;
+        self.pool_charged_propagations = self.stats.propagations;
+        pool.charge(dc, dp)
+    }
+
     fn update_has_limits(&mut self) {
         self.has_limits = self.limit_conflicts.is_some()
             || self.limit_propagations.is_some()
             || self.deadline.is_some()
-            || self.cancel.is_some();
+            || self.cancel.is_some()
+            || self.pool.is_some();
     }
 
     /// First tripped limit, if any. `check_time` gates the `Instant::now()`
@@ -931,7 +970,7 @@ impl Solver {
             // An already-expired budget (shared across an enumeration's
             // many calls) must stop *before* any work, even on instances
             // the search would decide without a single conflict.
-            if let Some(reason) = self.check_stop(true) {
+            if let Some(reason) = self.check_stop(true).or_else(|| self.charge_pool()) {
                 return SolveResult::Unknown(reason);
             }
         }
@@ -1019,8 +1058,11 @@ impl Solver {
                 }
                 self.decay_activities();
                 if self.has_limits {
-                    let reason =
-                        self.check_stop(self.stats.conflicts.is_multiple_of(TIME_POLL_STRIDE));
+                    // Charging the pool per conflict bounds a shared
+                    // pot's overshoot at one conflict per worker.
+                    let reason = self
+                        .check_stop(self.stats.conflicts.is_multiple_of(TIME_POLL_STRIDE))
+                        .or_else(|| self.charge_pool());
                     if let Some(reason) = reason {
                         self.cancel_until(0);
                         return SearchOutcome::Stopped(reason);
@@ -1036,7 +1078,7 @@ impl Solver {
                     // Poll on the decision path too: instances that search
                     // with few conflicts must still honor deadlines and
                     // cancellation.
-                    if let Some(reason) = self.check_stop(true) {
+                    if let Some(reason) = self.check_stop(true).or_else(|| self.charge_pool()) {
                         self.cancel_until(0);
                         return SearchOutcome::Stopped(reason);
                     }
@@ -1131,11 +1173,85 @@ impl Solver {
         result
     }
 
+    /// Lookahead probe: establishes `assumptions`, then assumes `lit` and
+    /// runs unit propagation only — no conflict analysis, no learning —
+    /// and returns how many *additional* literals (including `lit`) the
+    /// assumption implied. The solver state is fully restored afterwards.
+    ///
+    /// Returns `None` if the assumptions or the probe literal fail by
+    /// propagation alone (a failed literal — maximally attractive to a
+    /// caller looking for refutations, useless as a branching point), and
+    /// `Some(0)` if `lit` was already implied by the assumptions (equally
+    /// useless as a branching point: one child subspace would be empty).
+    ///
+    /// This is the scoring oracle behind adaptive cube-and-conquer
+    /// partitioning: the product of the two phases' reduction counts ranks
+    /// candidate splitting variables (Kondratiev et al. style lookahead).
+    pub fn probe_lit(&mut self, assumptions: &[Lit], lit: Lit) -> Option<u32> {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.stats.lookahead_probes += 1;
+        if !self.ok || self.propagate().is_some() {
+            self.ok = false;
+            return None;
+        }
+        let mut failed = false;
+        for &p in assumptions {
+            assert!(
+                p.var().index() < self.num_vars(),
+                "assumption {p} outside solver variable space"
+            );
+            match self.lit_value(p) {
+                Lbool::True => continue,
+                Lbool::False => {
+                    failed = true;
+                    break;
+                }
+                Lbool::Undef => {
+                    self.new_decision_level();
+                    self.enqueue(p, Reason::None);
+                    if self.propagate().is_some() {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let result = if failed {
+            None
+        } else {
+            assert!(
+                lit.var().index() < self.num_vars(),
+                "probe literal {lit} outside solver variable space"
+            );
+            match self.lit_value(lit) {
+                Lbool::True => Some(0),
+                Lbool::False => None,
+                Lbool::Undef => {
+                    let before = self.trail.len();
+                    self.new_decision_level();
+                    self.enqueue(lit, Reason::None);
+                    if self.propagate().is_some() {
+                        None
+                    } else {
+                        Some((self.trail.len() - before) as u32)
+                    }
+                }
+            }
+        };
+        self.cancel_until(0);
+        result
+    }
+
     /// Zeroes the accumulated statistics. Parallel enumeration workers
     /// call this on their cloned solvers so each clone reports only the
     /// work it did itself and per-worker snapshots sum cleanly.
     pub fn reset_stats(&mut self) {
+        // Flush work not yet charged to a shared pool before the counters
+        // it is measured against are zeroed, then re-zero the baselines.
+        let _ = self.charge_pool();
         self.stats = SolverStats::default();
+        self.pool_charged_conflicts = 0;
+        self.pool_charged_propagations = 0;
     }
 
 
@@ -1170,6 +1286,7 @@ impl Solver {
         clone.limit_propagations = None;
         clone.deadline = None;
         clone.cancel = None;
+        clone.pool = None;
         clone.has_limits = false;
         clone.reset_stats();
         clone

@@ -17,6 +17,12 @@
 #                    split plus the root-level inprocessing row (live
 #                    clause words before/after on the churn workload).
 #                    Supersedes BENCH_PR5.json, kept for history.
+#   BENCH_PR8.json — cube-balance sweep (static prefix partitioning vs
+#                    adaptive cube-and-conquer on the preimage-step
+#                    workloads, plus the spawn-gate check on the small
+#                    reachability workloads; records cpu_count — on a
+#                    single-CPU host the gated rows are the meaningful
+#                    ones).
 #
 # All binaries assert result equality between the compared configurations
 # before timing anything, so a successful run is also a determinism check.
@@ -32,10 +38,11 @@ cargo build --release --offline -p presat-bench
 ./target/release/budget_overhead BENCH_PR4.json
 ./target/release/propagation_throughput BENCH_PR7.json
 ./target/release/chrono_db_flatness BENCH_PR6.json
+./target/release/cube_balance BENCH_PR8.json
 
 # Show how the checked-in numbers moved (informational; timings drift with
 # hardware, the structure should not).
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
-  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json || true
+  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json || true
 fi
 echo "bench: OK"

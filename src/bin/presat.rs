@@ -24,6 +24,14 @@
 //! `--jobs <n>` runs the success-driven enumeration on `n` worker threads
 //! (`0` = auto-detect, default 1); the output is bit-identical at every
 //! thread count.
+//! `--no-adaptive` turns off adaptive cube-and-conquer (lookahead-scored
+//! partitioning plus dynamic work splitting) and falls back to the static
+//! prefix partition; `--split-threshold <n>` sets the conflict count at
+//! which a worker splits its running cube (`0` = never);
+//! `--par-threshold <n>` sets the size product below which a preimage
+//! step skips the worker fleet and runs sequentially (`0` = always
+//! parallel). All three only move scheduling and work counters — the
+//! output is bit-identical regardless.
 //! `--no-inprocess` disables root-level solver inprocessing at incremental
 //! session boundaries (subsumption, self-subsuming resolution,
 //! vivification). Inprocessing is equivalence-preserving, so results are
@@ -113,6 +121,14 @@ fn print_usage() {
          \x20        --jobs <n>  success-driven worker threads (0 = auto,\n\
          \x20                    default 1; the result is bit-identical at\n\
          \x20                    every thread count)\n\
+         \x20        --no-adaptive  static prefix partitioning instead of\n\
+         \x20                    adaptive cube-and-conquer (identical results;\n\
+         \x20                    only scheduling moves)\n\
+         \x20        --split-threshold <n>  conflicts before a worker splits\n\
+         \x20                    its running cube (0 = never split)\n\
+         \x20        --par-threshold <n>  size product below which a step\n\
+         \x20                    runs sequentially despite --jobs (0 = always\n\
+         \x20                    parallel)\n\
          \x20        --no-inprocess  disable root-level inprocessing at\n\
          \x20                    incremental session boundaries (results are\n\
          \x20                    identical either way; only counters move)\n\
@@ -258,6 +274,9 @@ const ENGINE_FLAGS: &[(&str, &[&str])] = &[
     ("--jobs", &["success-driven"]),
     ("--inprocess", &["success-driven"]),
     ("--no-inprocess", &["success-driven"]),
+    ("--no-adaptive", &["success-driven"]),
+    ("--split-threshold", &["success-driven"]),
+    ("--par-threshold", &["success-driven"]),
 ];
 
 /// Warns once on stderr when `--engine` is combined with engine-tunable
@@ -289,6 +308,28 @@ fn warn_ignored_engine_flags(args: &[String], engine: &str) {
     );
 }
 
+/// Parses the adaptive cube-and-conquer flags: `--no-adaptive`,
+/// `--split-threshold <n>`, `--par-threshold <n>` (the latter two `None`
+/// when absent — the engine's defaults apply).
+fn par_tuning_from_flags(args: &[String]) -> Result<(bool, Option<u64>, Option<u64>), String> {
+    let adaptive = !has_flag(args, "--no-adaptive");
+    let split = match flag_value(args, "--split-threshold") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| String::from("bad --split-threshold (want a number)"))?,
+        ),
+        None => None,
+    };
+    let par = match flag_value(args, "--par-threshold") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| String::from("bad --par-threshold (want a number)"))?,
+        ),
+        None => None,
+    };
+    Ok((adaptive, split, par))
+}
+
 fn sat_engine_from_flag(args: &[String]) -> Result<Box<dyn PreimageEngine>, String> {
     let jobs = jobs_from_flag(args)?;
     let inprocess = inprocess_from_flags(args)?;
@@ -297,11 +338,20 @@ fn sat_engine_from_flag(args: &[String]) -> Result<Box<dyn PreimageEngine>, Stri
         "blocking" => Box::new(SatPreimage::blocking()),
         "min-blocking" => Box::new(SatPreimage::min_blocking()),
         "chrono" => Box::new(SatPreimage::chrono()),
-        "success-driven" => Box::new(
-            SatPreimage::success_driven()
+        "success-driven" => {
+            let (adaptive, split, par) = par_tuning_from_flags(args)?;
+            let mut engine = SatPreimage::success_driven()
                 .with_jobs(jobs)
-                .with_inprocess(inprocess),
-        ),
+                .with_inprocess(inprocess)
+                .with_adaptive(adaptive);
+            if let Some(t) = split {
+                engine = engine.with_split_threshold(t);
+            }
+            if let Some(t) = par {
+                engine = engine.with_par_threshold(t);
+            }
+            Box::new(engine)
+        }
         "bdd-sub" => Box::new(BddPreimage::substitution()),
         "bdd-mono" => Box::new(BddPreimage::monolithic()),
         other => {
@@ -392,7 +442,17 @@ fn cmd_allsat(args: &[String]) -> Result<ExitCode, String> {
         "success-driven" if jobs == 1 => {
             SuccessDrivenAllSat::new().enumerate_limited(&problem, &limits, &mut NullSink)
         }
-        "success-driven" => ParallelAllSat::new(jobs).enumerate_limited(&problem, &limits, &mut NullSink),
+        "success-driven" => {
+            let (adaptive, split, par) = par_tuning_from_flags(args)?;
+            let mut engine = ParallelAllSat::new(jobs).with_adaptive(adaptive);
+            if let Some(t) = split {
+                engine = engine.with_split_threshold(t);
+            }
+            if let Some(t) = par {
+                engine = engine.with_par_threshold(t);
+            }
+            engine.enumerate_limited(&problem, &limits, &mut NullSink)
+        }
         "chrono" => ChronoAllSat::new().enumerate_limited(&problem, &limits, &mut NullSink),
         other => {
             return Err(format!(
@@ -524,6 +584,10 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
     // --timeout-ms / --conflict-budget bound the whole fixed point (the
     // total budget); --max-solutions does not apply to reach.
     let limits = limits_from_flags(args)?;
+    // --par-threshold also rides into the session via ReachOptions, so it
+    // applies on the incremental path (the engine-level setting covers the
+    // per-call path).
+    let (_, _, parallel_threshold) = par_tuning_from_flags(args)?;
     let report = backward_reach(
         engine.as_ref(),
         &circuit,
@@ -536,6 +600,7 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, String> {
             incremental: !has_flag(args, "--no-incremental"),
             inprocess: inprocess_from_flags(args)?,
             total_budget: limits.budget,
+            parallel_threshold,
             ..ReachOptions::default()
         },
     );

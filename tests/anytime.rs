@@ -194,6 +194,46 @@ fn parallel_budget_stops_are_sound_partial_results() {
                     k,
                     &format!("case {case} jobs {jobs} budget {budget}"),
                 );
+                // The fleet spends ONE shared budget pot, not one per
+                // worker: per-conflict charging bounds the overshoot at a
+                // single conflict per worker, so total conflicts can never
+                // inflate toward jobs × budget.
+                assert!(
+                    result.stats.sat.conflicts <= budget + jobs as u64,
+                    "case {case} jobs {jobs} budget {budget}: \
+                     {} conflicts spent from a {budget}-conflict budget",
+                    result.stats.sat.conflicts
+                );
+            }
+        }
+    }
+}
+
+/// The shared budget pool holds at every thread count and in both
+/// partitioning modes, including under a split storm (threshold 1), where
+/// abandoned partial runs must still be charged against the pot.
+#[test]
+fn shared_pool_never_inflates_with_thread_count() {
+    let mut rng = SplitMix64::seed_from_u64(0xA18);
+    for case in 0..4 {
+        let cnf = random_cnf(&mut rng, 10, 32);
+        let problem = AllSatProblem::new(cnf, Var::range(7).collect());
+        for budget in [8u64, 40] {
+            let limits =
+                EnumLimits::none().with_budget(Budget::unlimited().with_conflicts(budget));
+            for jobs in [1usize, 2, 4, 7] {
+                for (adaptive, threshold) in [(true, 1u64), (true, 1024), (false, 0)] {
+                    let result = ParallelAllSat::new(jobs)
+                        .with_adaptive(adaptive)
+                        .with_split_threshold(threshold)
+                        .enumerate_limited(&problem, &limits, &mut presat::obs::NullSink);
+                    assert!(
+                        result.stats.sat.conflicts <= budget + jobs as u64,
+                        "case {case} jobs {jobs} budget {budget} adaptive {adaptive} \
+                         threshold {threshold}: {} conflicts spent",
+                        result.stats.sat.conflicts
+                    );
+                }
             }
         }
     }

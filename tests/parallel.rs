@@ -42,6 +42,18 @@ fn env_jobs() -> usize {
         .unwrap_or(4)
 }
 
+/// Adaptive cube-and-conquer on/off for the env-driven tests, from
+/// `PRESAT_TEST_ADAPTIVE` (default 1 = adaptive). `scripts/verify.sh`
+/// runs the suite at both 0 and 1, so both partitioners get the full
+/// determinism treatment.
+fn env_adaptive() -> bool {
+    std::env::var("PRESAT_TEST_ADAPTIVE")
+        .ok()
+        .and_then(|v| v.parse::<u8>().ok())
+        .map(|v| v != 0)
+        .unwrap_or(true)
+}
+
 #[test]
 fn enumeration_is_deterministic_across_thread_counts() {
     for seed in 0..10 {
@@ -83,8 +95,12 @@ fn circuit_preimage_cubes_identical_at_every_thread_count() {
         let target = StateSet::from_partial(&[(0, true)]);
         let seq = SatPreimage::success_driven().preimage(c, &target);
         for jobs in JOB_COUNTS {
+            // Gate forced open: this test is about the fleet, so it must
+            // not silently fall back to the sequential path on small
+            // encodings or low-parallelism CI hosts.
             let par = SatPreimage::success_driven()
                 .with_jobs(jobs)
+                .with_par_threshold(0)
                 .preimage(c, &target);
             assert_eq!(
                 par.states.cubes(),
@@ -92,6 +108,74 @@ fn circuit_preimage_cubes_identical_at_every_thread_count() {
                 "{} at jobs={jobs}",
                 c.name()
             );
+        }
+    }
+}
+
+#[test]
+fn split_storm_enumeration_is_bit_identical() {
+    // Split threshold 1 makes every cube that survives a single conflict
+    // split — the cube tree fans out as hard as it ever can, with split
+    // *timing* fully scheduler-dependent. The output must not move, in
+    // either partitioning mode, at any thread count.
+    for seed in 0..6 {
+        let n = 9;
+        let cnf = random_cnf(200 + seed, n, 22);
+        let important: Vec<Var> = Var::range(6).collect();
+        let problem = AllSatProblem::new(cnf, important);
+        let seq = SuccessDrivenAllSat::new().enumerate(&problem);
+        for jobs in JOB_COUNTS {
+            for adaptive in [true, false] {
+                let par = ParallelAllSat::new(jobs)
+                    .with_adaptive(adaptive)
+                    .with_split_threshold(1)
+                    .enumerate(&problem);
+                assert_eq!(
+                    par.cubes, seq.cubes,
+                    "seed {seed}, jobs {jobs}, adaptive {adaptive}"
+                );
+                assert_eq!(
+                    par.stats.graph_nodes, seq.stats.graph_nodes,
+                    "seed {seed}, jobs {jobs}, adaptive {adaptive}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn split_storm_preimages_identical_on_every_circuit_family() {
+    // One representative of every embedded circuit family, under forced
+    // splitting (threshold 1) with the spawn gate disabled so even the
+    // tiny encodings really run the fleet.
+    let circuits = [
+        generators::counter(5, false),
+        generators::counter(5, true),
+        generators::parity(5),
+        generators::comparator(3),
+        generators::round_robin_arbiter(3),
+        generators::shift_register(6),
+        generators::lfsr(5),
+        generators::random_dag(4, 5, 40, 7),
+        presat::circuit::embedded::s27().unwrap(),
+        presat::circuit::embedded::ctl2().unwrap(),
+    ];
+    for c in &circuits {
+        let target = StateSet::from_partial(&[(0, true)]);
+        let seq = SatPreimage::success_driven().preimage(c, &target);
+        for jobs in [2, 4, 7] {
+            let par = SatPreimage::success_driven()
+                .with_jobs(jobs)
+                .with_split_threshold(1)
+                .with_par_threshold(0)
+                .preimage(c, &target);
+            assert_eq!(
+                par.states.cubes(),
+                seq.states.cubes(),
+                "{} at jobs={jobs} under split storm",
+                c.name()
+            );
+            assert_eq!(par.stats.graph_nodes, seq.stats.graph_nodes);
         }
     }
 }
@@ -127,6 +211,7 @@ fn backward_reach_agrees_at_env_thread_count() {
     // whole fixed-point loop (many chained preimages) must be oblivious to
     // the thread count.
     let jobs = env_jobs();
+    let adaptive = env_adaptive();
     let c = generators::counter(5, false);
     let target = StateSet::from_state_bits(0x1F, 5);
     let seq = backward_reach(
@@ -136,7 +221,10 @@ fn backward_reach_agrees_at_env_thread_count() {
         ReachOptions::default(),
     );
     let par = backward_reach(
-        &SatPreimage::success_driven().with_jobs(jobs),
+        &SatPreimage::success_driven()
+            .with_jobs(jobs)
+            .with_adaptive(adaptive)
+            .with_par_threshold(0),
         &c,
         &target,
         ReachOptions::default(),
@@ -148,18 +236,49 @@ fn backward_reach_agrees_at_env_thread_count() {
 }
 
 #[test]
+fn reach_parallel_threshold_knob_never_changes_results() {
+    // The per-run spawn-gate override: forcing the gate fully open
+    // (threshold 0: every step fans out) and fully closed (u64::MAX:
+    // every step sequential) must both reproduce the sequential fixed
+    // point exactly — the knob trades overhead, never answers.
+    let c = generators::counter(5, false);
+    let target = StateSet::from_state_bits(0x1F, 5);
+    let seq = backward_reach(
+        &SatPreimage::success_driven(),
+        &c,
+        &target,
+        ReachOptions::default(),
+    );
+    for threshold in [0, u64::MAX] {
+        let par = backward_reach(
+            &SatPreimage::success_driven().with_jobs(4),
+            &c,
+            &target,
+            ReachOptions::default().with_parallel_threshold(threshold),
+        );
+        assert_eq!(par.reached.cubes(), seq.reached.cubes(), "threshold {threshold}");
+        assert_eq!(par.reached_states, seq.reached_states);
+        assert_eq!(par.iterations.len(), seq.iterations.len());
+    }
+}
+
+#[test]
 fn suite_smoke_at_env_thread_count() {
-    // Every workload family in miniature, at the env-selected job count.
+    // Every workload family in miniature, at the env-selected job count
+    // and partitioning mode.
     let jobs = env_jobs();
+    let adaptive = env_adaptive();
     for seed in 0..4 {
         let cnf = random_cnf(100 + seed, 8, 18);
         let important: Vec<Var> = Var::range(5).collect();
         let problem = AllSatProblem::new(cnf.clone(), important.clone());
         let expect = truth_table::project_models_set(&cnf, &important);
-        let r = ParallelAllSat::new(jobs).enumerate(&problem);
+        let r = ParallelAllSat::new(jobs)
+            .with_adaptive(adaptive)
+            .enumerate(&problem);
         assert!(
             r.cubes.semantically_eq(&expect, &important),
-            "seed {seed} at jobs={jobs}"
+            "seed {seed} at jobs={jobs} adaptive={adaptive}"
         );
     }
 }
