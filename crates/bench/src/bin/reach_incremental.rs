@@ -72,9 +72,7 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let samples = samples();
-    let cpus = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cpus = presat_allsat::effective_jobs(0);
     println!(
         "# incremental reachability sweep ({samples} samples per case, {cpus} CPU(s) available)"
     );

@@ -73,9 +73,7 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let samples = samples();
-    let cpus = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cpus = presat_allsat::effective_jobs(0);
     println!("# thread scaling sweep ({samples} samples per case, {cpus} CPU(s) available)");
 
     let mut o = JsonObject::new();

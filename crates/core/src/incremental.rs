@@ -234,6 +234,13 @@ impl IncrementalAllSat {
         self.solver.live_learnt_count()
     }
 
+    /// Bytes currently resident in the persistent solver's clause arena —
+    /// the session's live memory footprint, which the `presatd` admission
+    /// controller sums across sessions against its ceiling.
+    pub fn arena_bytes(&self) -> u64 {
+        self.solver.arena_bytes() as u64
+    }
+
     /// The persistent solution graph (shared storage across calls).
     pub fn graph(&self) -> &SolutionGraph {
         &self.graph
@@ -395,13 +402,7 @@ impl IncrementalAllSat {
     }
 
     fn effective_jobs(&self) -> usize {
-        if self.jobs == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            self.jobs
-        }
+        crate::parallel::effective_jobs(self.jobs)
     }
 }
 

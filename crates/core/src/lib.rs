@@ -77,7 +77,8 @@ pub use limits::EnumLimits;
 pub use min_blocking::MinimizedBlockingAllSat;
 pub use ordering::{order_important, BranchOrder};
 pub use parallel::{
-    enumerate_detailed, ParTuning, ParallelAllSat, DEFAULT_PAR_THRESHOLD, DEFAULT_SPLIT_THRESHOLD,
+    effective_jobs, enumerate_detailed, ParTuning, ParallelAllSat, DEFAULT_PAR_THRESHOLD,
+    DEFAULT_SPLIT_THRESHOLD,
 };
 pub use signature::{ConnectivityIndex, ResidualIndex};
 pub use solution_graph::{SolutionGraph, SolutionNodeId};

@@ -138,13 +138,10 @@ impl ParTuning {
         }
         // Cached: the gate runs once per enumeration (hundreds of times
         // in a reachability fixed point) and the parallelism probe is a
-        // syscall.
+        // syscall. A host whose parallelism cannot be probed counts as
+        // single-CPU, matching `effective_jobs`' auto-detect fallback.
         static SINGLE_CPU: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-        let single_cpu = *SINGLE_CPU.get_or_init(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get() <= 1)
-                .unwrap_or(false)
-        });
+        let single_cpu = *SINGLE_CPU.get_or_init(|| effective_jobs(0) <= 1);
         single_cpu || (k as u64).saturating_mul(num_clauses as u64) < self.par_threshold
     }
 }
@@ -244,13 +241,24 @@ impl ParallelAllSat {
 
     /// The effective thread count (resolving `jobs == 0` to the OS value).
     fn effective_jobs(&self) -> usize {
-        if self.jobs == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            self.jobs
-        }
+        effective_jobs(self.jobs)
+    }
+}
+
+/// Resolves a requested worker count to the effective one: `0` means
+/// "auto-detect" and asks the OS for the available parallelism (falling
+/// back to `1` when the query fails, e.g. in restricted sandboxes); any
+/// other value is taken literally. Every `--jobs`-style knob in the
+/// workspace — the parallel engines, the incremental sessions, the bench
+/// binaries, the service daemon's scheduler — resolves through this one
+/// helper so the fallback cannot drift.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
     }
 }
 

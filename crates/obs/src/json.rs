@@ -61,6 +61,17 @@ impl JsonObject {
         self
     }
 
+    /// Adds a field whose value is pre-rendered JSON text, spliced in
+    /// verbatim — the composition hook for nesting one emitter's output
+    /// (e.g. a [`crate::Stats`] snapshot) inside another object. The caller
+    /// is responsible for `raw` being well-formed; [`validate`] the final
+    /// text in tests.
+    pub fn field_raw(&mut self, name: &str, raw: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(raw);
+        self
+    }
+
     /// Adds a string field.
     pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
         self.key(name);
@@ -317,6 +328,18 @@ mod tests {
         assert!(text.contains("\"nan\":null"));
         assert!(text.contains("\"complete\":false"));
         assert!(text.contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn field_raw_splices_verbatim() {
+        let mut inner = JsonObject::new();
+        inner.field_u64("x", 7);
+        let inner = inner.finish();
+        let mut o = JsonObject::new();
+        o.field_str("name", "n").field_raw("nested", &inner);
+        let text = o.finish();
+        validate(&text).unwrap();
+        assert_eq!(text, "{\"name\":\"n\",\"nested\":{\"x\":7}}");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use sink::{Event, NullSink, ObsSink, VecSink};
 pub use stop::StopReason;
 pub use timer::{time, Timer};
 
-use json::JsonObject;
+pub use json::JsonObject;
 
 /// A point-in-time snapshot of every counter layer for one engine run,
 /// ready for JSON/CSV emission.
@@ -116,6 +116,16 @@ impl Stats {
         self.complete = complete;
         self.stop_reason = stop_reason;
         self
+    }
+
+    /// Emits the snapshot as one JSON object labeled with the session it
+    /// belongs to — the per-session export a multi-tenant metrics endpoint
+    /// streams (one object per session, `"session"` leading).
+    pub fn to_json_named(&self, session: &str) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("session", session)
+            .field_raw("stats", &self.to_json());
+        o.finish()
     }
 
     /// Emits the snapshot as one JSON object (no trailing newline).
@@ -342,6 +352,15 @@ mod tests {
         assert!(text.contains("\"complete\":false"));
         assert!(text.contains("\"stop_reason\":\"deadline\""));
         assert!(s.to_csv_row().ends_with(",0"));
+    }
+
+    #[test]
+    fn named_snapshot_nests_the_plain_one() {
+        let s = sample();
+        let text = s.to_json_named("tenant \"a\"");
+        json::validate(&text).unwrap();
+        assert!(text.starts_with("{\"session\":\"tenant \\\"a\\\"\""));
+        assert!(text.contains(&format!("\"stats\":{}", s.to_json())));
     }
 
     #[test]

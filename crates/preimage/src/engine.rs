@@ -98,7 +98,10 @@ pub trait PreimageEngine {
 /// — subsequent preimages then exclude those states, which the
 /// reachability loop uses to keep already-reached states out of every
 /// later enumeration.
-pub trait PreimageSession {
+///
+/// Sessions are `Send` so a service can park one mid-enumeration and
+/// resume it from another worker thread.
+pub trait PreimageSession: Send {
     /// A short name for tables (mirrors the owning engine's name, plus an
     /// `+incremental` marker).
     fn name(&self) -> String;
@@ -143,6 +146,13 @@ pub trait PreimageSession {
     /// default is a no-op for sessions with no parallel mode.
     fn set_parallel_threshold(&mut self, threshold: u64) {
         let _ = threshold;
+    }
+
+    /// Bytes currently resident in the session's solver arena — the live
+    /// memory footprint a multi-tenant scheduler sums for admission
+    /// control. Sessions without a resident solver report `0`.
+    fn arena_bytes(&self) -> u64 {
+        0
     }
 }
 

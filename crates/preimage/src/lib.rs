@@ -50,6 +50,7 @@ mod output;
 mod reach;
 mod sat_engine;
 mod session;
+pub mod spec;
 mod state_set;
 mod unrolled;
 
@@ -60,9 +61,11 @@ pub use image::{bdd_image, forward_reach, sat_image, sequential_depth};
 pub use justify::{justify, Trace, TraceStep};
 pub use output::excitation_set;
 pub use reach::{
-    backward_reach, backward_reach_with_sink, ReachIteration, ReachOptions, ReachReport,
+    backward_reach, backward_reach_with_sink, ReachDriver, ReachIteration, ReachOptions,
+    ReachReport, ReachStep,
 };
 pub use sat_engine::SatPreimage;
 pub use session::SatPreimageSession;
+pub use spec::{parse_bits64, parse_state_bits, parse_state_spec};
 pub use state_set::StateSet;
 pub use unrolled::{k_step_preimage, UnrolledEncoding};

@@ -7,7 +7,7 @@ use presat_circuit::Circuit;
 use presat_logic::Var;
 use presat_obs::{Event, NullSink, ObsSink, StopReason, Timer};
 
-use crate::engine::{PreimageEngine, PreimageStats};
+use crate::engine::{PreimageEngine, PreimageSession, PreimageStats};
 use crate::state_set::StateSet;
 
 /// Options for the reachability loop.
@@ -196,173 +196,365 @@ pub fn backward_reach_with_sink(
     options: ReachOptions,
     sink: &mut dyn ObsSink,
 ) -> ReachReport {
-    let timer = Timer::start();
-    let n = circuit.num_latches();
-    let position_vars: Vec<Var> = Var::range(n).collect();
-    let mut graph = SolutionGraph::new(n);
+    let mut driver = ReachDriver::new(engine, circuit, target, options);
+    // The one-shot loop treats an interrupted preimage call as a terminal
+    // anytime stop; the driver itself stays resumable (the daemon keeps
+    // stepping the same frontier instead).
+    while let ReachStep::Advanced = driver.step(engine, circuit, &Budget::unlimited(), sink) {}
+    let report = driver.report();
+    if let Some(reason) = report.stop_reason {
+        sink.record(&Event::BudgetStop { reason });
+    }
+    sink.record(&Event::EngineDone {
+        wall_time_ns: report.stats.wall_time_ns,
+    });
+    report
+}
 
-    // Incremental mode: one persistent session answers every iteration.
-    // Blocking the target up front keeps the invariant «blocked set ==
-    // reached set», so each session preimage already returns
-    // Pre(frontier) ∖ reached and iteration k's states are never
-    // re-derived in iteration k+1. The set subtraction below is still
-    // performed on the canonical graph — `diff` of an already-disjoint set
-    // is the identity — which keeps the two paths bit-identical.
-    let mut session = if options.incremental {
-        engine.open_session(circuit)
-    } else {
-        None
-    };
-    if let Some(s) = session.as_deref_mut() {
-        s.set_inprocess(options.inprocess);
-        if let Some(threshold) = options.parallel_threshold {
-            s.set_parallel_threshold(threshold);
+/// The outcome of one [`ReachDriver::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReachStep {
+    /// One frontier's preimage was fully enumerated and the fixed point is
+    /// not yet reached — step again to continue.
+    Advanced,
+    /// The current frontier's preimage call was cut short (slice budget,
+    /// step budget, deadline, or cancellation inside the call). The
+    /// partial states found are already absorbed into the reached set;
+    /// stepping again *resumes the same frontier* where it left off (on
+    /// the incremental session path the absorbed states are blocked in the
+    /// solver, so no work repeats).
+    Interrupted(StopReason),
+    /// Nothing more to do: converged, iteration cap reached, total budget
+    /// exhausted, or cancelled between iterations. Take the
+    /// [`ReachDriver::report`].
+    Done,
+}
+
+/// A backward-reachability fixed point broken into explicit, resumable
+/// steps: the slice primitive the `presatd` scheduler interleaves across
+/// tenants. [`backward_reach`] is exactly a loop over [`ReachDriver::step`]
+/// with an unlimited slice budget, so the sliced and one-shot paths share
+/// every line of fixed-point logic and the final reached set is
+/// bit-identical however the work was sliced (the reached set lives in a
+/// canonical [`SolutionGraph`], so its cube representation depends only on
+/// the *set*, never on the slicing).
+pub struct ReachDriver {
+    options: ReachOptions,
+    position_vars: Vec<Var>,
+    graph: SolutionGraph,
+    session: Option<Box<dyn PreimageSession>>,
+    reached: SolutionNodeId,
+    frontier_node: SolutionNodeId,
+    /// New states discovered for the *current* frontier across its slices;
+    /// becomes the next frontier once the current one completes. (With an
+    /// unlimited slice budget a frontier always completes in one step and
+    /// this is just that step's `new_node`.)
+    pending: SolutionNodeId,
+    /// Snapshot of `reached` at the moment the current frontier was
+    /// installed: the care set for frontier simplification, so sliced and
+    /// one-shot runs simplify against the same region.
+    frontier_base_reached: SolutionNodeId,
+    iterations: Vec<ReachIteration>,
+    converged: bool,
+    /// `true` once `max_iterations` preimage calls have completed.
+    capped: bool,
+    stop: Option<StopReason>,
+    stats: PreimageStats,
+    /// Counter residue of the total budget, spent down by each step's
+    /// sub-solver work (the deadline is absolute — no bookkeeping needed).
+    total_remaining: Budget,
+    /// Consecutive interrupted steps that contributed zero new states.
+    /// Sessions retire their activation group after every preimage call,
+    /// so a frontier's closing UNSAT proof restarts from scratch each
+    /// slice; a fixed slice quantum smaller than that proof would
+    /// re-interrupt forever. Each stall doubles the effective quantum
+    /// (reset on any progress), bounding wasted slices logarithmically.
+    stalls: u32,
+    timer: Timer,
+}
+
+impl ReachDriver {
+    /// Prepares a fixed point for `target` on `circuit`. The same `engine`
+    /// and `circuit` must be passed to every subsequent
+    /// [`step`](ReachDriver::step) call.
+    pub fn new(
+        engine: &dyn PreimageEngine,
+        circuit: &Circuit,
+        target: &StateSet,
+        options: ReachOptions,
+    ) -> Self {
+        let timer = Timer::start();
+        let n = circuit.num_latches();
+        let position_vars: Vec<Var> = Var::range(n).collect();
+        let mut graph = SolutionGraph::new(n);
+
+        // Incremental mode: one persistent session answers every step.
+        // Blocking the target up front keeps the invariant «blocked set ==
+        // reached set», so each session preimage already returns
+        // Pre(frontier) ∖ reached and states are never re-derived — across
+        // iterations *or* across budgeted slices of one frontier. The set
+        // subtraction in `step` is still performed on the canonical graph
+        // — `diff` of an already-disjoint set is the identity — which
+        // keeps the paths bit-identical.
+        let mut session = if options.incremental {
+            engine.open_session(circuit)
+        } else {
+            None
+        };
+        if let Some(s) = session.as_deref_mut() {
+            s.set_inprocess(options.inprocess);
+            if let Some(threshold) = options.parallel_threshold {
+                s.set_parallel_threshold(threshold);
+            }
+            s.block_states(target);
         }
-        s.block_states(target);
+
+        let reached = graph.add_cube_set(target.cubes(), &position_vars);
+        let total_remaining = options.total_budget;
+        ReachDriver {
+            options,
+            position_vars,
+            graph,
+            session,
+            reached,
+            frontier_node: reached,
+            pending: SolutionNodeId::BOTTOM,
+            frontier_base_reached: reached,
+            iterations: Vec::new(),
+            converged: false,
+            capped: false,
+            stop: None,
+            stats: PreimageStats::default(),
+            total_remaining,
+            stalls: 0,
+            timer,
+        }
     }
 
-    let mut reached = graph.add_cube_set(target.cubes(), &position_vars);
-    let mut frontier_node = reached;
-    let mut iterations = Vec::new();
-    let mut converged = false;
-    let mut stop: Option<StopReason> = None;
-    let mut stats = PreimageStats::default();
-    // Counter residue of the total budget, spent down by each iteration's
-    // sub-solver work (the deadline is absolute — no bookkeeping needed).
-    let mut total_remaining = options.total_budget;
-
-    for iteration in 1.. {
-        if frontier_node == SolutionNodeId::BOTTOM {
-            converged = true;
-            break;
+    /// Runs one preimage call on the current frontier, bounded by the
+    /// step budget, the remaining total budget, **and** `slice_budget`
+    /// (all clipped together; pass [`Budget::unlimited`] for no extra
+    /// slice bound). Absorbs whatever the call verified into the reached
+    /// set and reports whether the fixed point advanced, was interrupted
+    /// mid-frontier (step again to resume), or is done.
+    pub fn step(
+        &mut self,
+        engine: &dyn PreimageEngine,
+        circuit: &Circuit,
+        slice_budget: &Budget,
+        sink: &mut dyn ObsSink,
+    ) -> ReachStep {
+        // A previous slice's mid-frontier interruption is not sticky; the
+        // terminal conditions below re-derive themselves every step.
+        self.stop = None;
+        if self.frontier_node == SolutionNodeId::BOTTOM {
+            self.converged = true;
+            return ReachStep::Done;
         }
-        if options.max_iterations.is_some_and(|cap| iteration > cap) {
-            break;
+        if self
+            .options
+            .max_iterations
+            .is_some_and(|cap| self.iterations.len() >= cap)
+        {
+            self.capped = true;
+            return ReachStep::Done;
         }
-        // Between-iteration stop checks cover every engine, including
-        // those that ignore limits inside a call (the BDD engine).
-        if options.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-            stop = Some(StopReason::Cancelled);
-            break;
+        // Between-step stop checks cover every engine, including those
+        // that ignore limits inside a call (the BDD engine).
+        if self
+            .options
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            self.stop = Some(StopReason::Cancelled);
+            return ReachStep::Done;
         }
-        if let Some(deadline) = options.total_budget.deadline {
+        if let Some(deadline) = self.options.total_budget.deadline {
             if Instant::now() >= deadline {
-                stop = Some(StopReason::Deadline);
-                break;
+                self.stop = Some(StopReason::Deadline);
+                return ReachStep::Done;
             }
         }
-        if total_remaining.conflicts == Some(0) {
-            stop = Some(StopReason::Conflicts);
-            break;
+        if self.total_remaining.conflicts == Some(0) {
+            self.stop = Some(StopReason::Conflicts);
+            return ReachStep::Done;
         }
-        if total_remaining.propagations == Some(0) {
-            stop = Some(StopReason::Propagations);
-            break;
+        if self.total_remaining.propagations == Some(0) {
+            self.stop = Some(StopReason::Propagations);
+            return ReachStep::Done;
         }
+        // Stall escalation: grow the caller's slice quantum exponentially
+        // while consecutive slices end interrupted with nothing to show,
+        // so the frontier's closing UNSAT proof eventually fits in one
+        // slice (see the `stalls` field). Total-budget clipping below
+        // still bounds the boosted slice.
+        let boost = 1u64.checked_shl(self.stalls.min(32)).unwrap_or(u64::MAX);
+        let boosted_slice = Budget {
+            conflicts: slice_budget
+                .conflicts
+                .map(|c| c.max(1).saturating_mul(boost)),
+            propagations: slice_budget
+                .propagations
+                .map(|p| p.max(1).saturating_mul(boost)),
+            deadline: slice_budget.deadline,
+        };
         let limits = EnumLimits {
-            budget: effective_budget(&options.step_budget, &total_remaining),
-            cancel: options.cancel.clone(),
+            // The per-step allowance clipped to what remains of the total
+            // (counters take the minimum, deadlines the earliest), then to
+            // the caller's (possibly boosted) slice quantum.
+            budget: self
+                .options
+                .step_budget
+                .clipped_to(&self.total_remaining)
+                .clipped_to(&boosted_slice),
+            cancel: self.options.cancel.clone(),
             max_solutions: None,
         };
-        let frontier = StateSet::from_cubes(graph.to_cube_set(frontier_node, &position_vars));
+        let frontier = StateSet::from_cubes(
+            self.graph
+                .to_cube_set(self.frontier_node, &self.position_vars),
+        );
         let start = Instant::now();
-        let pre = match session.as_deref_mut() {
+        let pre = match self.session.as_deref_mut() {
             Some(s) => s.preimage_limited(&frontier, &limits, sink),
             None => engine.preimage_limited(circuit, &frontier, &limits, sink),
         };
         let elapsed = start.elapsed();
-        stats.absorb(&pre.stats);
-        if let Some(c) = total_remaining.conflicts.as_mut() {
+        self.stats.absorb(&pre.stats);
+        if let Some(c) = self.total_remaining.conflicts.as_mut() {
             *c = c.saturating_sub(pre.stats.allsat.sat.conflicts);
         }
-        if let Some(p) = total_remaining.propagations.as_mut() {
+        if let Some(p) = self.total_remaining.propagations.as_mut() {
             *p = p.saturating_sub(pre.stats.allsat.sat.propagations);
         }
-        if let Some(s) = session.as_deref_mut() {
+        if let Some(s) = self.session.as_deref_mut() {
             s.block_states(&pre.states);
         }
 
         // Partial preimage states are still verified predecessors of the
         // frontier: absorbing them keeps the report a sound
-        // under-approximation even when this iteration was cut short.
-        let pre_node = graph.add_cube_set(pre.states.cubes(), &position_vars);
-        let new_node = graph.diff(pre_node, reached);
-        let next_frontier = if options.simplify_frontier && new_node != SolutionNodeId::BOTTOM {
-            // Care set = everything not yet reached; inside the reached
-            // region the frontier may grow arbitrarily (those states are
-            // already known backward-reachable), which lets sibling
-            // substitution shrink the representation.
-            let care = graph.diff(SolutionNodeId::TOP, reached);
-            graph.simplify(new_node, care)
-        } else {
-            new_node
-        };
-        reached = graph.union(reached, new_node);
-        let new_states = graph.minterm_count(new_node);
+        // under-approximation even when this step was cut short, and the
+        // `pending` accumulator carries them into the next frontier so a
+        // resumed run explores their predecessors too.
+        let pre_node = self
+            .graph
+            .add_cube_set(pre.states.cubes(), &self.position_vars);
+        let new_node = self.graph.diff(pre_node, self.reached);
+        self.reached = self.graph.union(self.reached, new_node);
+        self.pending = self.graph.union(self.pending, new_node);
+        let new_states = self.graph.minterm_count(new_node);
+        let iteration = self.iterations.len() + 1;
         sink.record(&Event::ReachIteration {
             iteration: iteration as u32,
             frontier_cubes: frontier.num_cubes() as u64,
             new_states: u64::try_from(new_states).unwrap_or(u64::MAX),
         });
-        iterations.push(ReachIteration {
+        self.iterations.push(ReachIteration {
             iteration,
             frontier_cubes: frontier.num_cubes(),
             new_states,
-            reached_states: graph.minterm_count(reached),
+            reached_states: self.graph.minterm_count(self.reached),
             elapsed,
         });
         if !pre.complete {
             // An interrupted preimage: an empty new_node here means "ran
-            // out of budget", NOT "fixed point" — stop without converging.
-            stop = pre.stop_reason;
-            break;
+            // out of budget", NOT "fixed point" — the frontier stays
+            // installed and a later step resumes it.
+            self.stalls = if new_states == 0 {
+                self.stalls.saturating_add(1)
+            } else {
+                0
+            };
+            let reason = pre.stop_reason.unwrap_or(StopReason::Cancelled);
+            self.stop = Some(reason);
+            return ReachStep::Interrupted(reason);
         }
-        frontier_node = if graph.minterm_count(new_node) == 0 {
+        self.stalls = 0;
+        // The frontier is fully enumerated: advance to the accumulated new
+        // states (from this step and any interrupted slices before it).
+        let next_frontier = if self.options.simplify_frontier && self.pending != SolutionNodeId::BOTTOM
+        {
+            // Care set = everything not reached when this frontier was
+            // installed; inside the already-reached region the frontier
+            // may grow arbitrarily (those states are known
+            // backward-reachable), which lets sibling substitution shrink
+            // the representation.
+            let care = self
+                .graph
+                .diff(SolutionNodeId::TOP, self.frontier_base_reached);
+            self.graph.simplify(self.pending, care)
+        } else {
+            self.pending
+        };
+        self.frontier_node = if self.graph.minterm_count(self.pending) == 0 {
             SolutionNodeId::BOTTOM
         } else {
             next_frontier
         };
+        self.pending = SolutionNodeId::BOTTOM;
+        self.frontier_base_reached = self.reached;
+        ReachStep::Advanced
     }
 
-    if let Some(reason) = stop {
-        sink.record(&Event::BudgetStop { reason });
+    /// `true` once the fixed point converged (empty frontier).
+    pub fn converged(&self) -> bool {
+        self.converged
     }
-    let reached_states = graph.minterm_count(reached);
-    let reached_set = StateSet::from_cubes(graph.to_cube_set(reached, &position_vars));
-    stats.iterations = iterations.len() as u64;
-    stats.result_cubes = reached_set.num_cubes() as u64;
-    stats.wall_time_ns = timer.elapsed_ns();
-    sink.record(&Event::EngineDone {
-        wall_time_ns: stats.wall_time_ns,
-    });
-    ReachReport {
-        reached: reached_set,
-        reached_states,
-        iterations,
-        converged,
-        complete: stop.is_none(),
-        stop_reason: stop,
-        stats,
-    }
-}
 
-/// The budget for one iteration's preimage call: the per-step allowance
-/// clipped to what remains of the total (counters take the minimum,
-/// deadlines the earliest).
-fn effective_budget(step: &Budget, total_remaining: &Budget) -> Budget {
-    let min_opt = |a: Option<u64>, b: Option<u64>| match (a, b) {
-        (Some(x), Some(y)) => Some(x.min(y)),
-        (x, None) => x,
-        (None, y) => y,
-    };
-    Budget {
-        conflicts: min_opt(step.conflicts, total_remaining.conflicts),
-        propagations: min_opt(step.propagations, total_remaining.propagations),
-        deadline: match (step.deadline, total_remaining.deadline) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, None) => a,
-            (None, b) => b,
-        },
+    /// Why the last step stopped early, if it did.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stop
+    }
+
+    /// Preimage calls completed so far (iteration rows).
+    pub fn iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// The per-iteration rows so far, growing as steps complete — cheaper
+    /// than [`report`](ReachDriver::report) (no reached-set extraction)
+    /// for streaming progress after each slice.
+    pub fn iteration_rows(&self) -> &[ReachIteration] {
+        &self.iterations
+    }
+
+    /// Exact cardinality of the current reached set.
+    pub fn reached_states(&self) -> u128 {
+        self.graph.minterm_count(self.reached)
+    }
+
+    /// Aggregated engine counters over every step so far.
+    pub fn stats(&self) -> &PreimageStats {
+        &self.stats
+    }
+
+    /// Live clause-arena bytes of the driver's persistent session (`0` on
+    /// the per-call path) — the admission-control gauge.
+    pub fn arena_bytes(&self) -> u64 {
+        self.session.as_deref().map_or(0, PreimageSession::arena_bytes)
+    }
+
+    /// Snapshot of the run so far as a [`ReachReport`] — callable at any
+    /// point (the daemon streams progress from it) and final once
+    /// [`step`](ReachDriver::step) returned [`ReachStep::Done`].
+    pub fn report(&self) -> ReachReport {
+        let reached_states = self.graph.minterm_count(self.reached);
+        let reached_set =
+            StateSet::from_cubes(self.graph.to_cube_set(self.reached, &self.position_vars));
+        let mut stats = self.stats;
+        stats.iterations = self.iterations.len() as u64;
+        stats.result_cubes = reached_set.num_cubes() as u64;
+        stats.wall_time_ns = self.timer.elapsed_ns();
+        ReachReport {
+            reached: reached_set,
+            reached_states,
+            iterations: self.iterations.clone(),
+            converged: self.converged,
+            complete: self.stop.is_none(),
+            stop_reason: self.stop,
+            stats,
+        }
     }
 }
 
@@ -503,6 +695,78 @@ mod tests {
         assert!(!report.converged);
         assert_eq!(report.iterations.len(), 3);
         assert_eq!(report.reached_states, 4); // target + 3 predecessors
+    }
+
+    #[test]
+    fn sliced_driver_matches_one_shot_reach_bit_for_bit() {
+        // Drive the same fixed points through ReachDriver with a tiny
+        // conflict quantum per slice: many Interrupted steps, resumed
+        // round-robin style. The final reached set must be the *identical*
+        // cube list (canonical graph), the same count, and converged.
+        for (circuit, target) in [
+            (generators::lfsr(5), StateSet::from_state_bits(7, 5)),
+            (
+                generators::counter(4, true),
+                StateSet::from_state_bits(9, 4),
+            ),
+            (
+                generators::round_robin_arbiter(2),
+                StateSet::from_partial(&[(2, true)]),
+            ),
+        ] {
+            let engine = SatPreimage::success_driven();
+            let one_shot =
+                backward_reach(&engine, &circuit, &target, ReachOptions::default());
+            assert!(one_shot.converged);
+
+            let mut driver =
+                ReachDriver::new(&engine, &circuit, &target, ReachOptions::default());
+            let quantum = Budget::unlimited().with_conflicts(1);
+            let mut slices = 0u32;
+            let mut interrupted = 0u32;
+            loop {
+                slices += 1;
+                assert!(slices < 100_000, "sliced reach did not terminate");
+                match driver.step(&engine, &circuit, &quantum, &mut NullSink) {
+                    ReachStep::Advanced => {}
+                    ReachStep::Interrupted(_) => interrupted += 1,
+                    ReachStep::Done => break,
+                }
+            }
+            let sliced = driver.report();
+            assert!(sliced.converged, "{}", circuit.name());
+            assert!(sliced.complete);
+            assert_eq!(sliced.reached_states, one_shot.reached_states);
+            assert_eq!(
+                sliced.reached.cubes(),
+                one_shot.reached.cubes(),
+                "{}: sliced reached set must be bit-identical",
+                circuit.name()
+            );
+            let _ = interrupted; // may be 0 on trivially easy circuits
+        }
+    }
+
+    #[test]
+    fn driver_report_is_a_live_snapshot() {
+        let c = generators::counter(3, false);
+        let engine = SatPreimage::success_driven();
+        let target = StateSet::from_state_bits(0, 3);
+        let mut driver = ReachDriver::new(&engine, &c, &target, ReachOptions::default());
+        assert_eq!(driver.report().reached_states, 1); // just the target
+        assert_eq!(
+            driver.step(&engine, &c, &Budget::unlimited(), &mut NullSink),
+            ReachStep::Advanced
+        );
+        let mid = driver.report();
+        assert_eq!(mid.reached_states, 2);
+        assert!(!mid.converged);
+        assert!(mid.complete); // not stopped, merely unfinished
+        while driver.step(&engine, &c, &Budget::unlimited(), &mut NullSink)
+            == ReachStep::Advanced
+        {}
+        assert!(driver.converged());
+        assert_eq!(driver.report().reached_states, 8);
     }
 
     #[test]

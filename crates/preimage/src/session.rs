@@ -201,6 +201,10 @@ impl PreimageSession for SatPreimageSession {
         self.tuning.par_threshold = threshold;
         self.inner.set_tuning(self.tuning);
     }
+
+    fn arena_bytes(&self) -> u64 {
+        self.inner.arena_bytes()
+    }
 }
 
 #[cfg(test)]

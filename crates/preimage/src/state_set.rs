@@ -39,10 +39,27 @@ impl StateSet {
     }
 
     /// A singleton set holding the state whose latch `j` has bit `j` of
-    /// `bits`.
+    /// `bits`. On circuits wider than 64 latches the remaining latches are
+    /// zero (a `u64` cannot address them; see
+    /// [`StateSet::from_bit_slice`] for full-width states).
     pub fn from_state_bits(bits: u64, num_latches: usize) -> Self {
         let cube = Cube::from_lits(
-            (0..num_latches).map(|j| Lit::with_phase(Var::new(j), bits >> j & 1 == 1)),
+            (0..num_latches).map(|j| Lit::with_phase(Var::new(j), j < 64 && bits >> j & 1 == 1)),
+        )
+        .expect("distinct latch positions");
+        StateSet {
+            cubes: CubeSet::from_iter([cube]),
+        }
+    }
+
+    /// A singleton set holding the state whose latch `j` has value
+    /// `bits[j]` — the arbitrary-width sibling of
+    /// [`StateSet::from_state_bits`].
+    pub fn from_bit_slice(bits: &[bool]) -> Self {
+        let cube = Cube::from_lits(
+            bits.iter()
+                .enumerate()
+                .map(|(j, &b)| Lit::with_phase(Var::new(j), b)),
         )
         .expect("distinct latch positions");
         StateSet {

@@ -1,0 +1,93 @@
+//! Shared, connection-scoped event writers.
+//!
+//! Every job holds a clone of its connection's [`OutputHandle`]; worker
+//! threads emit newline-JSON events through it concurrently. A write error
+//! (client went away mid-stream) marks the handle dead: later events are
+//! silently dropped — the job itself is cancelled by the transport layer,
+//! this just keeps in-flight slices from erroring — and the daemon carries
+//! on serving everyone else.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cloneable, thread-safe newline-JSON event sink.
+#[derive(Clone)]
+pub struct OutputHandle {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    writer: Mutex<Box<dyn Write + Send>>,
+    dead: AtomicBool,
+}
+
+impl OutputHandle {
+    /// Wraps a writer (stdout, a TCP stream, a Unix stream…).
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        OutputHandle {
+            inner: Arc::new(Inner {
+                writer: Mutex::new(writer),
+                dead: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Sends one event line (the newline is appended here). Best-effort:
+    /// a failed write marks the handle dead and later sends are dropped.
+    pub fn send_line(&self, line: &str) {
+        if self.inner.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(mut w) = self.inner.writer.lock() else {
+            // A panic while holding the lock poisons it; treat the stream
+            // as gone rather than propagate.
+            self.inner.dead.store(true, Ordering::Relaxed);
+            return;
+        };
+        let ok = w
+            .write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .and_then(|()| w.flush())
+            .is_ok();
+        if !ok {
+            self.inner.dead.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` once a write has failed (the client disconnected).
+    pub fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FailAfter {
+        n: usize,
+    }
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.n == 0 {
+                return Err(std::io::Error::other("gone"));
+            }
+            self.n -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_failure_marks_the_handle_dead() {
+        let h = OutputHandle::new(Box::new(FailAfter { n: 2 }));
+        h.send_line("one"); // line + newline = 2 writes
+        assert!(!h.is_dead());
+        h.send_line("two");
+        assert!(h.is_dead());
+        h.send_line("three"); // silently dropped
+    }
+}

@@ -57,13 +57,42 @@ impl Budget {
     }
 
     /// Sets the deadline `timeout` from now.
-    pub fn with_timeout(self, timeout: Duration) -> Self {
-        self.with_deadline(Instant::now() + timeout)
+    ///
+    /// A `timeout` too large to represent as an `Instant` (for example
+    /// `Duration::from_millis(u64::MAX)` from an untrusted `--timeout-ms`)
+    /// means "effectively no deadline" and leaves the budget's deadline
+    /// unset instead of panicking on `Instant` overflow.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Instant::now().checked_add(timeout);
+        self
     }
 
     /// `true` if no limit is set (the default).
     pub fn is_unlimited(&self) -> bool {
         self.conflicts.is_none() && self.propagations.is_none() && self.deadline.is_none()
+    }
+
+    /// Clips this budget to another: counter limits take the minimum,
+    /// deadlines the earliest, and a limit absent on one side is inherited
+    /// from the other. This is the slice-scheduling primitive — "one
+    /// quantum, but never more than the request has left" — also used by
+    /// the reachability loop to clip a per-step allowance to the remaining
+    /// total.
+    pub fn clipped_to(&self, other: &Budget) -> Budget {
+        let min_opt = |a: Option<u64>, b: Option<u64>| match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, None) => x,
+            (None, y) => y,
+        };
+        Budget {
+            conflicts: min_opt(self.conflicts, other.conflicts),
+            propagations: min_opt(self.propagations, other.propagations),
+            deadline: match (self.deadline, other.deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            },
+        }
     }
 }
 
@@ -196,6 +225,46 @@ mod tests {
         assert!(!Budget::default()
             .with_timeout(Duration::from_millis(1))
             .is_unlimited());
+    }
+
+    #[test]
+    fn huge_timeout_means_no_deadline_not_a_panic() {
+        // Regression: `Instant::now() + Duration::from_millis(u64::MAX)`
+        // overflows `Instant` and panicked; an untrusted `--timeout-ms`
+        // must instead mean "effectively unlimited".
+        let b = Budget::unlimited().with_timeout(Duration::from_millis(u64::MAX));
+        assert!(b.deadline.is_none());
+        assert!(b.is_unlimited());
+        let b = Budget::unlimited().with_timeout(Duration::MAX);
+        assert!(b.deadline.is_none());
+        // Sane timeouts still install a real deadline.
+        let b = Budget::unlimited().with_timeout(Duration::from_millis(10));
+        assert!(b.deadline.is_some());
+    }
+
+    #[test]
+    fn clipped_to_takes_minima_and_inherits_missing_limits() {
+        let quantum = Budget::unlimited().with_conflicts(100);
+        let remaining = Budget::unlimited()
+            .with_conflicts(40)
+            .with_propagations(7);
+        let slice = quantum.clipped_to(&remaining);
+        assert_eq!(slice.conflicts, Some(40));
+        assert_eq!(slice.propagations, Some(7));
+        assert!(slice.deadline.is_none());
+
+        let early = Instant::now();
+        let late = early + Duration::from_secs(60);
+        let a = Budget::unlimited().with_deadline(late);
+        let b = Budget::unlimited().with_deadline(early);
+        assert_eq!(a.clipped_to(&b).deadline, Some(early));
+        assert_eq!(a.clipped_to(&Budget::unlimited()).deadline, Some(late));
+
+        // Clipping to the unlimited budget is the identity.
+        let c = Budget::unlimited().with_conflicts(3);
+        let clipped = c.clipped_to(&Budget::unlimited());
+        assert_eq!(clipped.conflicts, Some(3));
+        assert!(clipped.propagations.is_none());
     }
 
     #[test]

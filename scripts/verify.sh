@@ -160,4 +160,62 @@ for record in preimage_step reach_gate; do
   fi
 done
 
+# Lint gate: daemon code never .unwrap()s values derived from untrusted
+# requests — every parse/lock/IO edge must degrade to an error event.
+# (Tests use expect; unwrap_or / unwrap_or_else / unwrap_or_default stay
+# legal — only bare .unwrap() is banned.)
+if grep -rn --include='*.rs' '\.unwrap()' crates/presatd/src src/bin/presatd.rs \
+    2>/dev/null | grep -v '^\s*//'; then
+  echo "verify: FAIL — bare .unwrap() in presatd (degrade to an error event)" >&2
+  exit 1
+fi
+
+# Daemon smoke: a budget-capped reach, a solve, a cancel race, and a clean
+# shutdown over --stdin, all answered with line-JSON carrying the request
+# ids. The 16-bit counter reach (65k-state cycle) cannot finish inside 40
+# conflicts, so its done event must report the conflicts stop; the solve
+# must come back sat; every request's terminal event must be present.
+{
+  echo "# 16-bit binary counter for the daemon smoke test"
+  echo "INPUT(en)"
+  echo "OUTPUT(z)"
+  echo "n0 = NOT(s0)"
+  echo "c0 = BUF(s0)"
+  echo "s0 = DFF(n0)"
+  for j in $(seq 1 15); do
+    echo "n$j = XOR(s$j, c$((j-1)))"
+    echo "s$j = DFF(n$j)"
+    if [ "$j" -lt 15 ]; then echo "c$j = AND(s$j, c$((j-1)))"; fi
+  done
+  echo "z = BUF(s0)"
+} > "$smoke_dir/counter16.bench"
+counter16="$(awk '{printf "%s\\n", $0}' "$smoke_dir/counter16.bench")"
+daemon_out="$(timeout 120 ./target/release/presatd --stdin --slice-conflicts 10 <<EOF
+{"op":"solve","id":"q1","session":"smoke","cnf":"p cnf 2 2\n1 2 0\n-1 2 0\n"}
+{"op":"reach","id":"q2","session":"smoke","circuit":"$counter16","target":"0b0000000000000000","conflict_budget":40}
+{"op":"cancel","id":"q3","job":"q2"}
+{"op":"stats","id":"q4"}
+{"op":"shutdown","id":"q5"}
+EOF
+)"
+daemon_check() {
+  if ! printf '%s\n' "$daemon_out" | grep -q "$1"; then
+    echo "verify: FAIL — daemon smoke output missing $1" >&2
+    printf '%s\n' "$daemon_out" >&2
+    exit 1
+  fi
+}
+daemon_check '"id":"q1","event":"done".*"result":"sat"'
+# Cancel vs budget is a race; either stop is a sound incomplete answer.
+daemon_check '"id":"q2","event":"done".*"complete":false'
+daemon_check '"stop_reason":"\(conflicts\|cancelled\)"'
+daemon_check '"id":"q4","event":"stats".*"session":"smoke"'
+daemon_check '"id":"q5","event":"ok"'
+# Every line the daemon emits must be one standalone JSON object.
+if printf '%s\n' "$daemon_out" | grep -v '^{.*}$' | grep -q .; then
+  echo "verify: FAIL — daemon emitted a non-JSON line" >&2
+  printf '%s\n' "$daemon_out" >&2
+  exit 1
+fi
+
 echo "verify: OK"

@@ -59,9 +59,13 @@ use presat::allsat::{
 use presat::circuit::{aiger, bench, Circuit};
 use presat::logic::{dimacs, Var};
 use presat::obs::{NullSink, Stats, Timer};
+// `parse_state_spec`/`parse_bits64` are the shared spec-parsing path: the
+// `presatd` daemon protocol accepts and rejects exactly the same state
+// specs as this CLI, including arbitrary-width 0b/0x patterns for circuits
+// with more than 64 latches.
 use presat::preimage::{
-    backward_reach, bdd_image, justify, sat_image, BddPreimage, PreimageEngine, ReachOptions,
-    SatPreimage, StateSet,
+    backward_reach, bdd_image, justify, parse_bits64, parse_state_spec, sat_image, BddPreimage,
+    PreimageEngine, ReachOptions, SatPreimage, StateSet,
 };
 use presat::sat::{Budget, SolveResult, Solver};
 
@@ -153,53 +157,6 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 /// True if the bare flag is present.
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
-}
-
-fn parse_bits(text: &str) -> Result<u64, String> {
-    let parsed = if let Some(hex) = text.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16)
-    } else if let Some(bin) = text.strip_prefix("0b") {
-        u64::from_str_radix(bin, 2)
-    } else {
-        text.parse()
-    };
-    parsed.map_err(|_| format!("invalid state bits {text:?}"))
-}
-
-/// Parses a state-set spec: a bit pattern or `latch=value,...`.
-fn parse_state_spec(text: &str, num_latches: usize) -> Result<StateSet, String> {
-    if text.contains('=') {
-        let mut fixed = Vec::new();
-        for part in text.split(',') {
-            let (j, v) = part
-                .split_once('=')
-                .ok_or_else(|| format!("bad cube component {part:?}"))?;
-            let j: usize = j
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad latch index {j:?}"))?;
-            if j >= num_latches {
-                return Err(format!(
-                    "latch {j} out of range (circuit has {num_latches})"
-                ));
-            }
-            let v = match v.trim() {
-                "0" => false,
-                "1" => true,
-                other => return Err(format!("bad latch value {other:?} (want 0/1)")),
-            };
-            fixed.push((j, v));
-        }
-        Ok(StateSet::from_partial(&fixed))
-    } else {
-        let bits = parse_bits(text)?;
-        if num_latches < 64 && bits >= 1u64 << num_latches {
-            return Err(format!(
-                "state {bits} out of range for {num_latches} latches"
-            ));
-        }
-        Ok(StateSet::from_state_bits(bits, num_latches))
-    }
 }
 
 fn load_circuit(path: &str) -> Result<Circuit, String> {
@@ -687,7 +644,10 @@ fn cmd_justify(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or("justify: missing circuit file")?;
     let circuit = load_circuit(path)?;
     let n = circuit.num_latches();
-    let from = parse_bits(flag_value(args, "--from").ok_or("justify: --from <bits> required")?)?;
+    let from = parse_bits64(
+        flag_value(args, "--from").ok_or("justify: --from <bits> required")?,
+        n,
+    )?;
     let target = parse_state_spec(
         flag_value(args, "--target").ok_or("justify: --target <spec> required")?,
         n,
