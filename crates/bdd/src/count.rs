@@ -85,7 +85,10 @@ impl BddManager {
             return;
         }
         if f.is_true() {
-            out.insert(Cube::from_lits(path.iter().copied()).expect("path literals are distinct"));
+            // BDD paths are pairwise disjoint, so skip the absorption scans.
+            out.push_disjoint(
+                Cube::from_lits(path.iter().copied()).expect("path literals are distinct"),
+            );
             return;
         }
         let v = self.node_var(f);

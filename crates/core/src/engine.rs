@@ -91,6 +91,20 @@ impl AllSatResult {
             None => self.cubes.minterm_count_over(num_important),
         }
     }
+
+    /// The work counters with the result store's occurrence-index
+    /// bookkeeping (`subsumption_checks`, `sig_rejects`,
+    /// `index_candidates`) folded in. Emission sites use this instead of
+    /// reading `stats` raw so `--stats` output reflects the absorption
+    /// work done building `cubes`.
+    pub fn stats_with_store(&self) -> EnumerationStats {
+        let mut stats = self.stats;
+        let store = self.cubes.index_stats();
+        stats.subsumption_checks += store.subsumption_checks;
+        stats.sig_rejects += store.sig_rejects;
+        stats.index_candidates += store.index_candidates;
+        stats
+    }
 }
 
 /// Extension used by [`AllSatResult::minterm_count`]: counting over the

@@ -205,7 +205,9 @@ impl SolutionGraph {
 
     /// Extracts the set as cubes over the given important variables
     /// (`vars[i]` is the variable at level *i*). One cube per ⊤-path;
-    /// levels skipped on a path are left free.
+    /// levels skipped on a path are left free. Distinct ⊤-paths disagree
+    /// on the branch variable of their lowest common node, so the cubes
+    /// are pairwise disjoint and bypass the store's absorption scans.
     ///
     /// # Panics
     ///
@@ -218,12 +220,37 @@ impl SolutionGraph {
         out
     }
 
+    /// Number of ⊤-paths from `root` — i.e. how many cubes
+    /// [`Self::to_cube_set`] would produce, without materialising them.
+    /// The daemon reports this per live session as the accumulated
+    /// result-set cube count.
+    pub fn cube_count(&self, root: SolutionNodeId) -> u64 {
+        let mut memo: HashMap<SolutionNodeId, u64> = HashMap::new();
+        self.cube_count_rec(root, &mut memo)
+    }
+
+    fn cube_count_rec(&self, n: SolutionNodeId, memo: &mut HashMap<SolutionNodeId, u64>) -> u64 {
+        if n == SolutionNodeId::BOTTOM {
+            return 0;
+        }
+        if n == SolutionNodeId::TOP {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&n) {
+            return c;
+        }
+        let node = self.nodes[n.index()];
+        let c = self.cube_count_rec(node.lo, memo) + self.cube_count_rec(node.hi, memo);
+        memo.insert(n, c);
+        c
+    }
+
     fn paths_rec(&self, n: SolutionNodeId, vars: &[Var], path: &mut Vec<Lit>, out: &mut CubeSet) {
         if n == SolutionNodeId::BOTTOM {
             return;
         }
         if n == SolutionNodeId::TOP {
-            out.insert(Cube::from_lits(path.iter().copied()).expect("distinct path literals"));
+            out.push_disjoint(Cube::from_lits(path.iter().copied()).expect("distinct path literals"));
             return;
         }
         let node = self.nodes[n.index()];
@@ -835,6 +862,20 @@ mod tests {
         // Unlabelled variant.
         let dot2 = g.to_dot(root, None, "demo");
         assert!(dot2.contains("L0"));
+    }
+
+    #[test]
+    fn cube_count_matches_extracted_set() {
+        let vars: Vec<Var> = Var::range(4).collect();
+        let mut set = CubeSet::new();
+        set.insert(cube(&[(0, true), (2, false)]));
+        set.insert(cube(&[(1, false)]));
+        set.insert(cube(&[(3, true)]));
+        let (g, root) = SolutionGraph::from_cube_set(&set, &vars);
+        let extracted = g.to_cube_set(root, &vars);
+        assert_eq!(g.cube_count(root), extracted.len() as u64);
+        assert_eq!(g.cube_count(SolutionNodeId::BOTTOM), 0);
+        assert_eq!(g.cube_count(SolutionNodeId::TOP), 1);
     }
 
     #[test]

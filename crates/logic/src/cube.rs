@@ -42,10 +42,31 @@ impl std::error::Error for CubeFromLitsError {}
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Cube {
     /// Sorted by variable index; at most one literal per variable.
+    ///
+    /// Kept as the first field so the derived lexicographic `Ord` is still
+    /// decided by the literal list; `sig` is a pure function of `lits`, so
+    /// including it in the derived `PartialEq`/`Hash` changes nothing.
     lits: Vec<Lit>,
+    /// Cached variable-signature mask: bit `v % 64` is set for every
+    /// mentioned variable `v`. Phase-independent, so `a ⊆ b` on literals
+    /// implies `a.sig & !b.sig == 0` — the one-AND subsumption prefilter.
+    sig: u64,
+}
+
+/// The signature mask of a literal slice (see [`Cube::signature`]).
+fn sig_of(lits: &[Lit]) -> u64 {
+    lits.iter()
+        .fold(0u64, |s, l| s | 1u64 << (l.var().index() & 63))
 }
 
 impl Cube {
+    /// Builds a cube from an already sorted, deduplicated, conflict-free
+    /// literal vector, computing the cached signature.
+    fn from_sorted(lits: Vec<Lit>) -> Self {
+        let sig = sig_of(&lits);
+        Cube { lits, sig }
+    }
+
     /// The empty cube (constant true / the set of all assignments).
     pub fn top() -> Self {
         Cube::default()
@@ -67,12 +88,12 @@ impl Cube {
                 return Err(CubeFromLitsError { var: w[0].var() });
             }
         }
-        Ok(Cube { lits: v })
+        Ok(Cube::from_sorted(v))
     }
 
     /// The single-literal cube.
     pub fn unit(lit: Lit) -> Self {
-        Cube { lits: vec![lit] }
+        Cube::from_sorted(vec![lit])
     }
 
     /// Number of literals.
@@ -88,6 +109,16 @@ impl Cube {
     /// The literals, sorted by variable.
     pub fn lits(&self) -> &[Lit] {
         &self.lits
+    }
+
+    /// The cached 64-bit variable-signature mask: bit `v % 64` is set for
+    /// every variable `v` this cube mentions, regardless of phase.
+    ///
+    /// If `a.subsumes(b)` then `a`'s variables are a subset of `b`'s, so
+    /// `a.signature() & !b.signature() == 0`; a single AND therefore
+    /// refutes most non-subsumptions before any literal comparison.
+    pub fn signature(&self) -> u64 {
+        self.sig
     }
 
     /// Iterates over the literals.
@@ -144,6 +175,10 @@ impl Cube {
     /// # Ok::<(), presat_logic::CubeFromLitsError>(())
     /// ```
     pub fn subsumes(&self, other: &Cube) -> bool {
+        // A subset's variables are a subset: one AND refutes most pairs.
+        if self.sig & !other.sig != 0 {
+            return false;
+        }
         if self.lits.len() > other.lits.len() {
             return false;
         }
@@ -188,7 +223,7 @@ impl Cube {
         }
         out.extend_from_slice(&self.lits[i..]);
         out.extend_from_slice(&other.lits[j..]);
-        Some(Cube { lits: out })
+        Some(Cube::from_sorted(out))
     }
 
     /// `true` if the two cubes share at least one assignment (no variable is
@@ -214,9 +249,7 @@ impl Cube {
 
     /// The cube with the literal on `var` removed (no-op if absent).
     pub fn without_var(&self, var: Var) -> Cube {
-        Cube {
-            lits: self.lits.iter().copied().filter(|l| l.var() != var).collect(),
-        }
+        Cube::from_sorted(self.lits.iter().copied().filter(|l| l.var() != var).collect())
     }
 
     /// The cofactor of this cube with respect to `lit` being asserted:
@@ -373,6 +406,19 @@ mod tests {
             assert_eq!(m.phase_of(Var::new(1)), Some(true));
             assert!(c.subsumes(m));
         }
+    }
+
+    #[test]
+    fn signature_tracks_mentioned_vars() {
+        assert_eq!(Cube::top().signature(), 0);
+        let c = Cube::from_lits([lit(0, true), lit(65, false)]).unwrap();
+        // 65 % 64 == 1: the mask folds high variables onto low bits.
+        assert_eq!(c.signature(), 0b11);
+        assert_eq!(c.without_var(Var::new(65)).signature(), 0b01);
+        let d = c.intersect(&Cube::unit(lit(3, true))).unwrap();
+        assert_eq!(d.signature(), 0b1011);
+        // Phase-independent: both phases of a variable set the same bit.
+        assert_eq!(Cube::unit(lit(2, true)).signature(), Cube::unit(lit(2, false)).signature());
     }
 
     #[test]

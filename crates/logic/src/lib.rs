@@ -28,9 +28,11 @@
 mod assignment;
 mod cnf;
 mod cube;
+mod cube_index;
 mod cube_set;
 pub mod dimacs;
 mod lit;
+mod naive;
 pub mod rng;
 pub mod truth_table;
 mod var;
@@ -38,6 +40,8 @@ mod var;
 pub use assignment::Assignment;
 pub use cnf::{Clause, Cnf};
 pub use cube::{Cube, CubeFromLitsError};
+pub use cube_index::CubeIndexStats;
 pub use cube_set::CubeSet;
 pub use lit::Lit;
+pub use naive::NaiveCubeSet;
 pub use var::Var;

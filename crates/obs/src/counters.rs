@@ -145,6 +145,15 @@ pub struct AllSatCounters {
     /// Times a parallel worker went to sleep waiting for the shared work
     /// queue to refill (a gauge of fleet idleness under poor balance).
     pub steal_waits: u64,
+    /// Literal-inclusion subsumption tests actually performed by the
+    /// result cube store (after the signature prefilter).
+    pub subsumption_checks: u64,
+    /// Candidate pairs the cube store's signature mask rejected with one
+    /// AND, skipping the literal walk.
+    pub sig_rejects: u64,
+    /// Candidate cubes the store's occurrence index handed to the
+    /// prefilter — versus the full-store scans a naive insert would do.
+    pub index_candidates: u64,
     /// Full counter snapshot of the underlying CDCL solver.
     pub sat: SatCounters,
 }
@@ -170,6 +179,9 @@ impl AllSatCounters {
         self.cubes_split += other.cubes_split;
         self.max_cube_conflicts = self.max_cube_conflicts.max(other.max_cube_conflicts);
         self.steal_waits += other.steal_waits;
+        self.subsumption_checks += other.subsumption_checks;
+        self.sig_rejects += other.sig_rejects;
+        self.index_candidates += other.index_candidates;
         self.sat.absorb(&other.sat);
     }
 }

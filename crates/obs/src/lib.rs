@@ -172,6 +172,9 @@ impl Stats {
             .field_u64("cubes_split", self.allsat.cubes_split)
             .field_u64("max_cube_conflicts", self.allsat.max_cube_conflicts)
             .field_u64("steal_waits", self.allsat.steal_waits)
+            .field_u64("subsumption_checks", self.allsat.subsumption_checks)
+            .field_u64("sig_rejects", self.allsat.sig_rejects)
+            .field_u64("index_candidates", self.allsat.index_candidates)
             .end_object();
         o.begin_object("preimage")
             .field_u64("result_cubes", self.preimage.result_cubes)
@@ -226,6 +229,9 @@ impl Stats {
             "allsat_cubes_split",
             "allsat_max_cube_conflicts",
             "allsat_steal_waits",
+            "allsat_subsumption_checks",
+            "allsat_sig_rejects",
+            "allsat_index_candidates",
             "preimage_result_cubes",
             "preimage_iterations",
             "preimage_bdd_nodes",
@@ -271,6 +277,9 @@ impl Stats {
             self.allsat.cubes_split,
             self.allsat.max_cube_conflicts,
             self.allsat.steal_waits,
+            self.allsat.subsumption_checks,
+            self.allsat.sig_rejects,
+            self.allsat.index_candidates,
             self.preimage.result_cubes,
             self.preimage.iterations,
             self.preimage.bdd_nodes,

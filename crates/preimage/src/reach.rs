@@ -524,6 +524,13 @@ impl ReachDriver {
         self.graph.minterm_count(self.reached)
     }
 
+    /// Number of cubes the current reached set extracts to, without
+    /// materialising them (one per ⊤-path of the decision DAG) — the
+    /// daemon's live result-set gauge, cheap enough to read every slice.
+    pub fn reached_cubes(&self) -> u64 {
+        self.graph.cube_count(self.reached)
+    }
+
     /// Aggregated engine counters over every step so far.
     pub fn stats(&self) -> &PreimageStats {
         &self.stats

@@ -241,9 +241,9 @@ impl PreimageEngine for SatPreimage {
                 }
             }
         };
+        let astats = result.stats_with_store();
         let AllSatResult {
             cubes,
-            stats: astats,
             complete,
             stop_reason,
             ..

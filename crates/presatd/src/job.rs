@@ -273,11 +273,30 @@ impl Job {
         self.finished
     }
 
-    /// Live accumulated engine counters, for the `stats` endpoint.
+    /// Live accumulated engine counters, for the `stats` endpoint. The
+    /// `result_cubes` gauge is refreshed from the job's accumulator graph
+    /// so a mid-run `stats` sees the result set grown so far, not just
+    /// what the last engine call reported.
     pub fn counters(&self) -> PreimageCounters {
-        match &self.kind {
+        let mut counters = match &self.kind {
             JobKind::Reach { driver, .. } => *driver.stats(),
             _ => self.counters,
+        };
+        counters.result_cubes = counters.result_cubes.max(self.result_cubes());
+        counters
+    }
+
+    /// Cubes in the result set this job has accumulated so far: one per
+    /// ⊤-path of the canonical accumulator graph (exactly what the `done`
+    /// event will extract), counted without materialising them. `0` for
+    /// `solve`, which has no cube result.
+    pub fn result_cubes(&self) -> u64 {
+        match &self.kind {
+            JobKind::Solve { .. } => 0,
+            JobKind::AllSat { graph, accum, .. } | JobKind::Preimage { graph, accum, .. } => {
+                graph.cube_count(*accum)
+            }
+            JobKind::Reach { driver, .. } => driver.reached_cubes(),
         }
     }
 

@@ -248,10 +248,14 @@ impl Scheduler {
                 }
             }
             let snapshot = Stats::from_preimage("presatd", &counters).to_json_named(name);
-            // Splice the live-job count into the per-session row.
+            // Splice the live-job count and the session's accumulated
+            // result-set size into the per-session row. `result_cubes` is
+            // the gauge refreshed from each live job's accumulator graph,
+            // so it grows while a sliced job is still running.
             let mut row = JsonObject::new();
             row.field_raw("snapshot", &snapshot)
-                .field_u64("live_jobs", live_jobs);
+                .field_u64("live_jobs", live_jobs)
+                .field_u64("result_cubes", counters.result_cubes);
             rows.push(row.finish());
         }
         drop(st);

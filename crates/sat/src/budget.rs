@@ -58,12 +58,21 @@ impl Budget {
 
     /// Sets the deadline `timeout` from now.
     ///
-    /// A `timeout` too large to represent as an `Instant` (for example
+    /// A `timeout` too large to be meaningful (for example
     /// `Duration::from_millis(u64::MAX)` from an untrusted `--timeout-ms`)
     /// means "effectively no deadline" and leaves the budget's deadline
-    /// unset instead of panicking on `Instant` overflow.
+    /// unset. The explicit cutoff keeps the behaviour identical across
+    /// platforms — how much headroom `Instant` itself has before
+    /// overflowing varies by target — and `checked_add` still backstops
+    /// the representational limit below it.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.deadline = Instant::now().checked_add(timeout);
+        // ~35,000 years.
+        const FOREVER: Duration = Duration::from_secs(1 << 40);
+        self.deadline = if timeout >= FOREVER {
+            None
+        } else {
+            Instant::now().checked_add(timeout)
+        };
         self
     }
 

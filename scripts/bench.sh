@@ -23,6 +23,10 @@
 #                    reachability workloads; records cpu_count — on a
 #                    single-CPU host the gated rows are the meaningful
 #                    ones).
+#   BENCH_PR10.json — cube-store scaling sweep (occurrence-indexed CubeSet
+#                    vs the retained naive two-scan store on seeded insert
+#                    streams: sparse growth regime at 1k–10k inserts plus a
+#                    dense absorption regime, with the index work counters).
 #
 # All binaries assert result equality between the compared configurations
 # before timing anything, so a successful run is also a determinism check.
@@ -39,10 +43,11 @@ cargo build --release --offline -p presat-bench
 ./target/release/propagation_throughput BENCH_PR7.json
 ./target/release/chrono_db_flatness BENCH_PR6.json
 ./target/release/cube_balance BENCH_PR8.json
+./target/release/cubeset_scaling BENCH_PR10.json
 
 # Show how the checked-in numbers moved (informational; timings drift with
 # hardware, the structure should not).
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
-  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json || true
+  git --no-pager diff --stat -- BENCH_PR2.json BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR10.json || true
 fi
 echo "bench: OK"

@@ -101,7 +101,8 @@ if ! printf '%s\n' "$smoke_out" | grep -q '"arena_bytes":[1-9]'; then
 fi
 for field in db_compactions clauses_reclaimed cones_skipped \
     inprocess_rounds subsumed_clauses strengthened_lits vivified_clauses \
-    lookahead_probes cubes_split max_cube_conflicts steal_waits; do
+    lookahead_probes cubes_split max_cube_conflicts steal_waits \
+    subsumption_checks sig_rejects index_candidates; do
   if ! printf '%s\n' "$smoke_out" | grep -q "\"$field\":"; then
     echo "verify: FAIL — stats JSON missing the $field counter" >&2
     printf '%s\n' "$smoke_out" >&2
@@ -160,6 +161,35 @@ for record in preimage_step reach_gate; do
   fi
 done
 
+# Cube-store smoke: the scaling bench asserts bit-identity between the
+# occurrence-indexed store and the naive reference on every stream before
+# timing it, so one cheap sample is also a differential check on streams
+# larger than the unit suites use; the JSON must carry both regimes and
+# the headline speedup field the R12 table reads.
+PRESAT_BENCH_SAMPLES=1 timeout 300 ./target/release/cubeset_scaling \
+  "$smoke_dir/bench_pr10.json" > /dev/null
+for record in sparse_10000 dense_10000; do
+  if ! grep -q "\"$record\":{" "$smoke_dir/bench_pr10.json"; then
+    echo "verify: FAIL — cubeset_scaling produced no $record record" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"speedup_at_10000":' "$smoke_dir/bench_pr10.json"; then
+  echo "verify: FAIL — cubeset_scaling emitted no speedup_at_10000 field" >&2
+  exit 1
+fi
+
+# Lint gate: every hot-path cube-store insert goes through the indexed
+# CubeSet — the naive linear scan `cubes.iter().any(|c| c.subsumes(..))`
+# lives only in the reference module the differential suites pin the
+# index against. (cover_rec's `cover.iter().any(..)` walks a bounded
+# cover argument, not a store, and stays legal.)
+if grep -rn --include='*.rs' -F 'cubes.iter().any(|c| c.subsumes(' \
+    crates src examples 2>/dev/null | grep -v 'crates/logic/src/naive\.rs'; then
+  echo "verify: FAIL — naive subsumption scan outside crates/logic/src/naive.rs (use CubeSet)" >&2
+  exit 1
+fi
+
 # Lint gate: daemon code never .unwrap()s values derived from untrusted
 # requests — every parse/lock/IO edge must degrade to an error event.
 # (Tests use expect; unwrap_or / unwrap_or_else / unwrap_or_default stay
@@ -190,14 +220,34 @@ fi
   echo "z = BUF(s0)"
 } > "$smoke_dir/counter16.bench"
 counter16="$(awk '{printf "%s\\n", $0}' "$smoke_dir/counter16.bench")"
-daemon_out="$(timeout 120 ./target/release/presatd --stdin --slice-conflicts 10 <<EOF
-{"op":"solve","id":"q1","session":"smoke","cnf":"p cnf 2 2\n1 2 0\n-1 2 0\n"}
-{"op":"reach","id":"q2","session":"smoke","circuit":"$counter16","target":"0b0000000000000000","conflict_budget":40}
-{"op":"cancel","id":"q3","job":"q2"}
-{"op":"stats","id":"q4"}
-{"op":"shutdown","id":"q5"}
-EOF
-)"
+# `shutdown` cancels whatever is still running by design, so it must not
+# be piped in the same burst as the jobs: on a single-CPU host the reader
+# thread can process all five lines before the worker runs its first
+# slice, cancelling even the trivial solve. Drive stdin through a FIFO
+# and hold the shutdown line until both jobs have printed their terminal
+# events.
+daemon_in="$smoke_dir/presatd.in"
+daemon_log="$smoke_dir/presatd.out"
+mkfifo "$daemon_in"
+(
+  printf '{"op":"solve","id":"q1","session":"smoke","cnf":"p cnf 2 2\\n1 2 0\\n-1 2 0\\n"}\n'
+  printf '{"op":"reach","id":"q2","session":"smoke","circuit":"%s","target":"0b0000000000000000","conflict_budget":40}\n' "$counter16"
+  printf '{"op":"cancel","id":"q3","job":"q2"}\n'
+  for _ in $(seq 1 600); do
+    if grep -q '"id":"q1","event":"done"' "$daemon_log" 2>/dev/null \
+        && grep -q '"id":"q2","event":"done"' "$daemon_log" 2>/dev/null; then
+      break
+    fi
+    sleep 0.1
+  done
+  printf '{"op":"stats","id":"q4"}\n'
+  printf '{"op":"shutdown","id":"q5"}\n'
+) > "$daemon_in" &
+daemon_writer=$!
+timeout 120 ./target/release/presatd --stdin --slice-conflicts 10 \
+  < "$daemon_in" > "$daemon_log"
+wait "$daemon_writer" || true
+daemon_out="$(cat "$daemon_log")"
 daemon_check() {
   if ! printf '%s\n' "$daemon_out" | grep -q "$1"; then
     echo "verify: FAIL — daemon smoke output missing $1" >&2

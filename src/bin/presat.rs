@@ -418,7 +418,7 @@ fn cmd_allsat(args: &[String]) -> Result<ExitCode, String> {
         }
     };
     if has_flag(args, "--stats") {
-        let mut stats = Stats::from_allsat(engine_name, &result.stats)
+        let mut stats = Stats::from_allsat(engine_name, &result.stats_with_store())
             .with_stop(result.complete, result.stop_reason);
         stats.wall_time_ns = timer.elapsed_ns();
         println!("{}", stats.to_json());

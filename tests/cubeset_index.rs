@@ -1,0 +1,204 @@
+//! Differential suite pinning the occurrence-indexed cube store against
+//! the retained naive reference implementation.
+//!
+//! The indexed [`CubeSet`] is *defined* to produce exactly the cube
+//! sequence the naive two-scan insert produces — that bit-identity is what
+//! keeps the parallel-merge and sliced-daemon determinism guarantees
+//! intact — so every case here asserts sequence equality (order included),
+//! not just set equality. All streams are seeded [`SplitMix64`]; a failure
+//! message carries the seed and parameters needed to replay it.
+
+use presat::logic::rng::SplitMix64;
+use presat::logic::{Cube, CubeSet, Lit, NaiveCubeSet, Var};
+
+/// One random cube: `width` literals drawn over `nv` variables (variable
+/// collisions resolved by `from_lits`' dedup; contradictions retried).
+fn random_cube(rng: &mut SplitMix64, nv: usize, max_width: usize) -> Cube {
+    loop {
+        let width = rng.gen_range(1..max_width + 1);
+        let lits: Vec<Lit> = (0..width)
+            .map(|_| Lit::with_phase(Var::new(rng.gen_range(0..nv)), rng.gen_bool(0.5)))
+            .collect();
+        if let Ok(c) = Cube::from_lits(lits) {
+            return c;
+        }
+    }
+}
+
+/// Feeds the same stream to both stores and asserts identical insert
+/// verdicts and identical cube sequences after every single insert.
+fn assert_differential(seed: u64, nv: usize, max_width: usize, inserts: usize) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut naive = NaiveCubeSet::new();
+    let mut indexed = CubeSet::new();
+    for step in 0..inserts {
+        let c = random_cube(&mut rng, nv, max_width);
+        let a = naive.insert(c.clone());
+        let b = indexed.insert(c.clone());
+        assert_eq!(
+            a, b,
+            "insert verdict diverged at step {step} (seed {seed}, nv {nv}, \
+             width {max_width}) on cube {c}"
+        );
+        assert_eq!(
+            naive.cubes(),
+            indexed.cubes(),
+            "cube sequence diverged at step {step} (seed {seed}, nv {nv}, \
+             width {max_width})"
+        );
+    }
+}
+
+#[test]
+fn random_streams_match_naive_bit_for_bit() {
+    // Varying width/density: narrow cubes over few variables absorb
+    // heavily; wide cubes over many variables almost never collide. Both
+    // regimes — and the transition — must match the reference exactly.
+    for (seed, nv, max_width, inserts) in [
+        (0x1001, 4, 2, 200),   // dense: constant absorption traffic
+        (0x1002, 8, 3, 300),   // medium density
+        (0x1003, 16, 5, 300),  // mixed
+        (0x1004, 32, 4, 300),  // wide universe, wide prefilter spread
+        (0x1005, 64, 8, 200),  // sparse: mostly disjoint cubes
+        (0x1006, 100, 12, 200), // signature aliasing (vars 64.. fold onto 0..)
+        (0x1007, 6, 1, 150),   // unit cubes only
+    ] {
+        assert_differential(seed, nv, max_width, inserts);
+    }
+}
+
+#[test]
+fn interleaved_unions_match_naive() {
+    // Union goes through the same insert path; pin a merge of two
+    // independently grown sets against naive insertion of the
+    // concatenated streams.
+    let mut rng = SplitMix64::seed_from_u64(0xA11A);
+    let mut left = CubeSet::new();
+    let mut right = CubeSet::new();
+    let mut naive = NaiveCubeSet::new();
+    let mut stream = Vec::new();
+    for _ in 0..150 {
+        let c = random_cube(&mut rng, 10, 4);
+        left.insert(c.clone());
+        stream.push(c);
+    }
+    for _ in 0..150 {
+        let c = random_cube(&mut rng, 10, 4);
+        right.insert(c.clone());
+        stream.push(c);
+    }
+    // Naive replay: left's surviving cubes in order, then right's.
+    for c in left.iter().chain(right.iter()) {
+        naive.insert(c.clone());
+    }
+    let merged = left.union(&right);
+    assert_eq!(naive.cubes(), merged.cubes());
+    // And the merge is semantically the union of the raw stream.
+    let direct: CubeSet = stream.into_iter().collect();
+    let vars: Vec<Var> = Var::range(10).collect();
+    assert!(merged.semantically_eq(&direct, &vars));
+}
+
+#[test]
+fn duplicate_insert_is_rejected_identically() {
+    let mut naive = NaiveCubeSet::new();
+    let mut indexed = CubeSet::new();
+    let c = Cube::from_lits([Lit::pos(Var::new(0)), Lit::neg(Var::new(3))]).unwrap();
+    assert!(naive.insert(c.clone()) && indexed.insert(c.clone()));
+    assert!(!naive.insert(c.clone()) && !indexed.insert(c.clone()));
+    assert_eq!(naive.cubes(), indexed.cubes());
+    assert_eq!(indexed.len(), 1);
+}
+
+#[test]
+fn universe_cube_absorbs_everything_in_both_stores() {
+    let mut rng = SplitMix64::seed_from_u64(0xD00D);
+    let mut naive = NaiveCubeSet::new();
+    let mut indexed = CubeSet::new();
+    for _ in 0..50 {
+        let c = random_cube(&mut rng, 12, 4);
+        naive.insert(c.clone());
+        indexed.insert(c);
+    }
+    // ⊤ wipes the set down to itself…
+    assert!(naive.insert(Cube::top()));
+    assert!(indexed.insert(Cube::top()));
+    assert_eq!(naive.cubes(), indexed.cubes());
+    assert_eq!(indexed.cubes(), &[Cube::top()]);
+    assert!(indexed.is_universe());
+    // …and everything after it is rejected.
+    assert!(!naive.insert(Cube::top()));
+    assert!(!indexed.insert(Cube::top()));
+    let c = random_cube(&mut rng, 12, 4);
+    assert!(!naive.insert(c.clone()));
+    assert!(!indexed.insert(c));
+    assert_eq!(naive.cubes(), indexed.cubes());
+}
+
+#[test]
+fn empty_set_and_first_insert_edge_cases() {
+    let mut indexed = CubeSet::new();
+    assert!(indexed.is_empty());
+    assert!(!indexed.is_universe());
+    // First insert into an empty store takes the no-candidate fast path.
+    assert!(indexed.insert(Cube::unit(Lit::pos(Var::new(7)))));
+    assert_eq!(indexed.len(), 1);
+    // ⊤ as the very first insert is the universe, in one cube.
+    let mut top_first = CubeSet::new();
+    assert!(top_first.insert(Cube::top()));
+    assert!(top_first.is_universe());
+    assert_eq!(top_first.len(), 1);
+}
+
+#[test]
+fn absorption_keeps_survivor_order_across_removals() {
+    // Hand-built absorption chain: the wide cube kills cubes 0 and 2 but
+    // not 1 and 3; the survivors must keep their relative order and the
+    // newcomer must land at the back — in both stores.
+    let cube = |lits: &[(usize, bool)]| {
+        Cube::from_lits(lits.iter().map(|&(v, p)| Lit::with_phase(Var::new(v), p))).unwrap()
+    };
+    let stream = [
+        cube(&[(0, true), (1, true)]),
+        cube(&[(2, false), (3, true)]),
+        cube(&[(0, true), (1, false)]),
+        cube(&[(4, true), (5, false)]),
+        cube(&[(0, true)]), // absorbs #0 and #2
+    ];
+    let mut naive = NaiveCubeSet::new();
+    let mut indexed = CubeSet::new();
+    for c in &stream {
+        naive.insert(c.clone());
+        indexed.insert(c.clone());
+    }
+    assert_eq!(naive.cubes(), indexed.cubes());
+    assert_eq!(
+        indexed.cubes(),
+        &[
+            cube(&[(2, false), (3, true)]),
+            cube(&[(4, true), (5, false)]),
+            cube(&[(0, true)]),
+        ]
+    );
+}
+
+#[test]
+fn index_counters_accumulate_under_load() {
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF);
+    let mut indexed = CubeSet::new();
+    for _ in 0..400 {
+        indexed.insert(random_cube(&mut rng, 10, 4));
+    }
+    let st = indexed.index_stats();
+    assert!(st.subsumption_checks > 0);
+    assert!(st.index_candidates > 0);
+    assert!(st.sig_rejects <= st.subsumption_checks);
+    // The whole point of the index: far fewer candidates than the n² the
+    // naive scans would have visited (400 inserts × up to ~2·n cubes).
+    let naive_worst = 400u64 * 400 * 2;
+    assert!(
+        st.index_candidates < naive_worst / 4,
+        "index visited {} candidates, naive bound {naive_worst}",
+        st.index_candidates
+    );
+}

@@ -123,6 +123,84 @@ fn stats_and_shutdown_answer_inline() {
     );
 }
 
+#[test]
+fn stats_reports_accumulated_result_cubes_per_session() {
+    let mut child = daemon_cmd(&["--listen", "127.0.0.1:0"])
+        .spawn()
+        .expect("daemon spawns");
+    drop(child.stdin.take());
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("listening line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("an address")
+        .to_string();
+
+    // Run an allsat job to completion and note how many cubes its result
+    // set holds…
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+    conn.write_all(
+        b"{\"op\":\"allsat\",\"id\":\"a\",\"session\":\"acc\",\
+          \"cnf\":\"p cnf 3 2\\n1 2 0\\n-3 1 0\\n\",\"project\":3}\n",
+    )
+    .expect("request written");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let want;
+    loop {
+        let mut l = String::new();
+        assert!(reader.read_line(&mut l).expect("read") > 0, "eof before done");
+        if l.contains(r#""id":"a","event":"done""#) {
+            assert!(l.contains(r#""complete":true"#), "{l}");
+            want = l
+                .split("\"num_cubes\":")
+                .nth(1)
+                .and_then(|rest| rest.split(',').next())
+                .and_then(|digits| digits.trim().parse::<u64>().ok())
+                .expect("done event carries num_cubes");
+            break;
+        }
+    }
+    assert!(want > 0, "the test formula has a nonempty solution set");
+
+    // …then `stats` must report that accumulated result-set cube count in
+    // the session's row. The `done` event is emitted from inside the
+    // worker's slice, a moment before the scheduler folds the finished
+    // job's counters into the session base — poll until the gauge lands.
+    let mut last = String::new();
+    let mut found = false;
+    for round in 0..100 {
+        conn.write_all(format!("{{\"op\":\"stats\",\"id\":\"m{round}\"}}\n").as_bytes())
+            .expect("stats written");
+        loop {
+            let mut l = String::new();
+            assert!(reader.read_line(&mut l).expect("read") > 0, "eof before stats");
+            if l.contains(r#""event":"stats""#) {
+                let row = l
+                    .split(r#""session":"acc""#)
+                    .nth(1)
+                    .expect("a row for session acc");
+                found = row.contains(&format!("\"result_cubes\":{want}"));
+                last = l;
+                break;
+            }
+        }
+        if found {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        found,
+        "stats row should report the accumulated result-set cube count {want}: {last}"
+    );
+    conn.write_all(b"{\"op\":\"shutdown\",\"id\":\"bye\"}\n")
+        .expect("shutdown written");
+    wait_with_deadline(&mut child, "stats result cubes");
+}
+
 /// An `n`-latch binary counter in BENCH format (`s' = s + 1`): every state
 /// has exactly one predecessor, so backward reachability from one state
 /// walks the whole 2^n cycle — arbitrarily heavy for large `n`.
